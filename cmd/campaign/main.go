@@ -1,0 +1,88 @@
+// Command campaign runs a declarative experiment matrix: a JSON spec
+// (workloads × strategies × operating points) executed under the
+// paper's measurement protocol, with results as a table or JSON.
+//
+//	campaign -config study.json
+//	campaign -config study.json -json > results.json
+//	campaign -example            # print a starter spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/campaign"
+)
+
+const exampleSpec = `{
+  "name": "strategy-study",
+  "reps": 3,
+  "settle": "5m",
+  "workloads": [
+    {"kind": "ft", "class": "B", "procs": 8, "iters": 8},
+    {"kind": "cg", "class": "A", "procs": 8, "iters": 15},
+    {"kind": "transpose", "iters": 1}
+  ],
+  "strategies": [
+    {"kind": "static"},
+    {"kind": "dynamic"},
+    {"kind": "cpuspeed"},
+    {"kind": "adaptive"}
+  ],
+  "points_mhz": [1400, 1000, 600]
+}`
+
+func main() {
+	config := flag.String("config", "", "JSON spec file (- for stdin)")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of a table")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress on stderr")
+	example := flag.Bool("example", false, "print an example spec and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleSpec)
+		return
+	}
+	if *config == "" {
+		fmt.Fprintln(os.Stderr, "campaign: -config is required (see -example)")
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *config != "-" {
+		f, err := os.Open(*config)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := campaign.Parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+
+	progress := func(line string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	results, err := campaign.Run(spec, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		err = campaign.WriteJSON(os.Stdout, results)
+	} else {
+		err = campaign.WriteTable(os.Stdout, results)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,201 @@
+// Command powersim runs ad-hoc power-performance experiments on the
+// simulated cluster: pick a workload, a DVS strategy, and an operating
+// point, and get energy, delay, per-node and per-component breakdowns.
+//
+//	powersim -workload ft.B -strategy static -mhz 800
+//	powersim -workload transpose -strategy dynamic
+//	powersim -workload swim -strategy cpuspeed -reps 3
+//	powersim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/dvs"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// catalog builds the named workloads at a given scale.
+func catalog(scale int) map[string]func() workloads.Workload {
+	s := func(base int) int {
+		n := base * scale
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	mk := map[string]func() workloads.Workload{
+		"swim":     func() workloads.Workload { return workloads.NewSwim(s(100)) },
+		"mgrid":    func() workloads.Workload { return workloads.NewMgrid(s(100)) },
+		"membench": func() workloads.Workload { return workloads.NewMemBench(s(100)) },
+		"cachebench": func() workloads.Workload {
+			return workloads.NewCacheBench(s(100000))
+		},
+		"regbench": func() workloads.Workload { return workloads.NewRegBench(s(5000)) },
+		"comm256k": func() workloads.Workload { return workloads.NewCommBench256K(s(500)) },
+		"comm4k":   func() workloads.Workload { return workloads.NewCommBench4K(s(5000)) },
+		"transpose": func() workloads.Workload {
+			return workloads.NewTranspose(s(1))
+		},
+		"summa": func() workloads.Workload {
+			return workloads.NewSumma(int64(4096*s(1)), 2)
+		},
+	}
+	for _, class := range []byte{'A', 'B', 'C'} {
+		class := class
+		mk["ft."+string(class)] = func() workloads.Workload {
+			ft := workloads.NewFT(class, 8)
+			ft.IterOverride = s(2)
+			return ft
+		}
+		mk["cg."+string(class)] = func() workloads.Workload {
+			cg := workloads.NewCG(class, 8)
+			cg.IterOverride = s(5)
+			return cg
+		}
+		mk["is."+string(class)] = func() workloads.Workload {
+			is := workloads.NewIS(class, 8)
+			is.IterOverride = s(3)
+			return is
+		}
+		mk["mg."+string(class)] = func() workloads.Workload {
+			mg := workloads.NewMG(class, 8)
+			mg.IterOverride = s(3)
+			return mg
+		}
+		mk["lu."+string(class)] = func() workloads.Workload {
+			lu := workloads.NewLU(class, 8)
+			lu.IterOverride = s(10)
+			return lu
+		}
+		mk["ep."+string(class)] = func() workloads.Workload {
+			ep := workloads.NewEP(class, 8)
+			if class != 'A' {
+				ep.PairsOverride = 1 << 28 // keep demo runtimes sane
+			}
+			return ep
+		}
+	}
+	return mk
+}
+
+func main() {
+	workload := flag.String("workload", "ft.B", "workload name (see -list)")
+	strategy := flag.String("strategy", "static", "static | dynamic | cpuspeed | adaptive | slack")
+	mhz := flag.Int("mhz", 1400, "base operating point in MHz")
+	reps := flag.Int("reps", 1, "repetitions (outliers rejected)")
+	scale := flag.Int("scale", 1, "workload size multiplier")
+	exact := flag.Bool("exact", true, "report exact energy (false = ACPI battery protocol)")
+	traceOut := flag.String("trace", "", "write a per-node power trace CSV to this file")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	names := catalog(*scale)
+	if *list {
+		var keys []string
+		for k := range names {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			w := names[k]()
+			fmt.Printf("  %-12s %2d ranks\n", k, w.Ranks())
+		}
+		return
+	}
+
+	mkW, ok := names[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "powersim: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+	w := mkW()
+
+	var strat dvs.Strategy
+	switch *strategy {
+	case "static":
+		strat = dvs.Static{}
+	case "dynamic":
+		// Act on every region the workload marks.
+		strat = dvs.NewDynamic()
+	case "cpuspeed":
+		strat = dvs.NewCpuspeed()
+	case "adaptive":
+		strat = dvs.NewAdaptive()
+	case "slack":
+		strat = dvs.NewSlack()
+	default:
+		fmt.Fprintf(os.Stderr, "powersim: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	cfg := cluster.DefaultConfig()
+	cfg.Reps = *reps
+	cfg.Settle = 30 * sim.Second
+	cfg.UseTrueEnergy = *exact
+	if *traceOut != "" {
+		cfg.TraceInterval = 250 * sim.Millisecond
+	}
+	runner := cluster.NewRunner(cfg)
+
+	table := cfg.Machine.Table
+	baseIdx := table.IndexOf(table.ClosestTo(repro.Hz(*mhz) * repro.MHz).Freq)
+
+	res, err := runner.RunOnce(w, strat, baseIdx, cfg.Seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s, strategy %s, base point %s, %d ranks\n",
+		res.Workload, res.Strategy, res.Label, len(res.Nodes))
+	fmt.Printf("time-to-solution: %.2f s\n", res.Delay.Seconds())
+	fmt.Printf("energy: exact %.1f J, ACPI %.1f J, Baytech %.1f J\n",
+		float64(res.EnergyTrue), float64(res.EnergyACPI), float64(res.EnergyBaytech))
+	fmt.Printf("mean power per node: %.1f W\n\n",
+		float64(res.EnergyTrue)/res.Delay.Seconds()/float64(len(res.Nodes)))
+
+	fmt.Println("per-node breakdown:")
+	fmt.Printf("  %-5s %10s %8s %8s %6s   %s\n", "node", "energy(J)", "busy%", "idle%", "DVS#", "components (J)")
+	for i, nr := range res.Nodes {
+		busy := float64(nr.Busy) / float64(nr.Busy+nr.Idle) * 100
+		comp := ""
+		for _, c := range power.Components() {
+			comp += fmt.Sprintf("%s=%.0f ", c, float64(nr.Component[c]))
+		}
+		fmt.Printf("  %-5d %10.1f %7.1f%% %7.1f%% %6d   %s\n",
+			i, float64(nr.Energy), busy, 100-busy, nr.Transitions, comp)
+	}
+
+	if *traceOut != "" && res.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.Trace.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\npower trace (%d samples) written to %s\n", res.Trace.Len(), *traceOut)
+	}
+
+	if len(res.Profiles) > 0 {
+		fmt.Println("\nPowerPack region profiles (cluster-wide):")
+		for _, rp := range res.Profiles {
+			fmt.Printf("  %-8s entered %4d times, %10.2f s, %12.1f J\n",
+				rp.Region, rp.Count, rp.Time.Seconds(), float64(rp.Energy))
+		}
+	}
+}

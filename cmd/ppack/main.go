@@ -1,0 +1,82 @@
+// Command ppack is the PowerPack profiling tool: it runs the suite's
+// microbenchmarks on one simulated node (or a node pair, for the
+// communication benchmarks) at every operating point and prints the
+// per-component power profile — the measurements behind the paper's
+// Section 4 "power-performance analysis".
+//
+//	ppack              # all microbenchmarks
+//	ppack -bench mem   # one of mem | cache | reg | comm256k | comm4k
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/dvs"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "run only this microbenchmark (mem|cache|reg|comm256k|comm4k)")
+	flag.Parse()
+
+	benches := []struct {
+		key string
+		w   workloads.Workload
+	}{
+		{"mem", workloads.NewMemBench(100)},
+		{"cache", workloads.NewCacheBench(200000)},
+		{"reg", workloads.NewRegBench(5000)},
+		{"comm256k", workloads.NewCommBench256K(400)},
+		{"comm4k", workloads.NewCommBench4K(4000)},
+	}
+
+	cfg := cluster.DefaultConfig()
+	cfg.Reps = 1
+	cfg.Settle = 30 * sim.Second
+	cfg.UseTrueEnergy = true
+	runner := cluster.NewRunner(cfg)
+	table := cfg.Machine.Table
+
+	found := false
+	for _, b := range benches {
+		if *benchName != "" && b.key != *benchName {
+			continue
+		}
+		found = true
+		fmt.Printf("== %s (%s, %d rank(s))\n", b.key, b.w.Name(), b.w.Ranks())
+		fmt.Printf("   %-8s %9s %9s %8s", "point", "delay(s)", "node(W)", "cpu(W)")
+		for _, c := range power.Components()[1:] {
+			fmt.Printf(" %7s(W)", c)
+		}
+		fmt.Println()
+		for i := 0; i < table.Len(); i++ {
+			res, err := runner.RunOnce(b.w, dvs.Static{}, i, 1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ppack: %v\n", err)
+				os.Exit(1)
+			}
+			secs := res.Delay.Seconds()
+			nodeW := float64(res.EnergyTrue) / secs / float64(len(res.Nodes))
+			fmt.Printf("   %-8s %9.2f %9.2f", table.At(i).Freq, secs, nodeW)
+			// Average per-component power across nodes.
+			for _, c := range power.Components() {
+				var e float64
+				for _, nr := range res.Nodes {
+					e += float64(nr.Component[c])
+				}
+				fmt.Printf(" %9.2f", e/secs/float64(len(res.Nodes)))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "ppack: unknown benchmark %q\n", *benchName)
+		os.Exit(2)
+	}
+}

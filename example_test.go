@@ -1,0 +1,68 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The weighted ED2P metric (the paper's Equation 5) and the Figure 2
+// question it answers: how much energy must a slower point save to be
+// "best"?
+func ExampleWeightedED2P() {
+	// Two operating points, normalized: the baseline and one that is
+	// 5% slower but saves 15% energy.
+	base := repro.WeightedED2P(1.0, 1.0, repro.DeltaHPC)
+	slower := repro.WeightedED2P(0.85, 1.05, repro.DeltaHPC)
+	fmt.Printf("baseline=%.3f slower=%.3f better=%v\n", base, slower, slower < base)
+
+	// The break-even saving for a 5% slowdown under the HPC weight.
+	frac := repro.RequiredEnergyFraction(repro.DeltaHPC, 1.05)
+	fmt.Printf("break-even saving: %.1f%%\n", (1-frac)*100)
+	// Output:
+	// baseline=1.000 slower=0.987 better=true
+	// break-even saving: 13.6%
+}
+
+// Selecting "best" operating points from a measured crescendo, as in
+// the paper's Tables 1 and 3.
+func ExampleCrescendo_SelectOperatingPoints() {
+	c := repro.Crescendo{Points: []repro.CrescendoPoint{
+		{Label: "1.4GHz", Freq: 1400 * repro.MHz, Energy: 100, Delay: 10.0},
+		{Label: "1.2GHz", Freq: 1200 * repro.MHz, Energy: 90, Delay: 10.3},
+		{Label: "1.0GHz", Freq: 1000 * repro.MHz, Energy: 78, Delay: 10.8},
+		{Label: "800MHz", Freq: 800 * repro.MHz, Energy: 68, Delay: 11.6},
+		{Label: "600MHz", Freq: 600 * repro.MHz, Energy: 60, Delay: 13.0},
+	}}
+	ops := c.SelectOperatingPoints()
+	fmt.Printf("HPC=%v energy=%v performance=%v\n", ops.HPC.Freq, ops.Energy.Freq, ops.Performance.Freq)
+	// Output:
+	// HPC=1.0GHz energy=600MHz performance=1.4GHz
+}
+
+// A complete experiment: sweep the memory-bound PowerPack
+// microbenchmark across the SpeedStep table (the paper's Figure 6).
+// The simulation is deterministic, so the numbers are exact.
+func ExampleRunner_Sweep() {
+	cfg := repro.DefaultConfig()
+	cfg.Settle = 30 * repro.Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	runner := repro.NewRunner(cfg)
+
+	c, err := runner.Sweep(repro.NewMemBench(40), repro.Static{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	n := c.Normalized(0)
+	for _, p := range n.Points {
+		fmt.Printf("%-7v E=%.3f D=%.3f\n", p.Freq, p.Energy, p.Delay)
+	}
+	// Output:
+	// 1.4GHz  E=1.000 D=1.000
+	// 1.2GHz  E=0.905 D=1.007
+	// 1.0GHz  E=0.781 D=1.016
+	// 800MHz  E=0.686 D=1.030
+	// 600MHz  E=0.595 D=1.054
+}

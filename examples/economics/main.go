@@ -1,0 +1,69 @@
+// Economics: translate DVS energy savings into the quantities the
+// paper's introduction argues with — operating cost and component
+// failure rates. Runs FT class B at the fastest point and at the HPC
+// best point, then prices a year of continuous operation and estimates
+// the cluster's failure interval at both settings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	cfg.Settle = 30 * repro.Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	runner := repro.NewRunner(cfg)
+
+	ft := repro.NewFT('B', 8)
+	ft.IterOverride = 4
+
+	crescendo, err := runner.Sweep(ft, repro.Static{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm := crescendo.Normalized(0)
+
+	// Where is each point "best"? (paper Fig. 2 turned into a table)
+	fmt.Println("best operating point by weight factor d:")
+	for _, iv := range repro.BestByDelta(norm, 401) {
+		fmt.Printf("  d in [%+.2f, %+.2f] → %s\n", iv.From, iv.To, iv.Label)
+	}
+
+	// Savings table against the fastest point.
+	fmt.Println("\nsavings against 1.4GHz:")
+	for _, s := range repro.Savings(crescendo, 0) {
+		fmt.Printf("  %-16s energy -%4.1f%%  time +%4.1f%%  weighted-ED2P %+5.1f%%\n",
+			s.Label, s.EnergySaved*100, s.DelayPenalty*100, s.ImprovementPc)
+	}
+
+	// Price a year of continuous operation at the two endpoints.
+	cost := repro.DefaultCostModel()
+	rel := repro.DefaultReliabilityModel()
+	nodes := float64(ft.Ranks())
+
+	describe := func(label string, p repro.CrescendoPoint) {
+		meanW := p.Energy / p.Delay / nodes // average watts per node
+		annual := cost.AnnualCostUSD(p.Energy, p.Delay) * 1
+		tempC := rel.NodeTempC(meanW)
+		mtbf := rel.ClusterMTBFHours(ft.Ranks(), meanW)
+		fmt.Printf("  %-16s %5.1f W/node  %5.1f°C  $%7.2f/yr (cluster)  node-failure every %6.0f h\n",
+			label, meanW, tempC, annual, mtbf)
+	}
+	fmt.Println("\ncontinuous-operation projection (8-node cluster):")
+	describe(crescendo.Points[0].Label, crescendo.Points[0])
+	best := norm.Best(repro.DeltaHPC)
+	describe(crescendo.Points[best].Label, crescendo.Points[best])
+
+	p0, pb := crescendo.Points[0], crescendo.Points[best]
+	saved := cost.AnnualCostUSD(p0.Energy, p0.Delay) - cost.AnnualCostUSD(pb.Energy, pb.Delay)
+	w0 := p0.Energy / p0.Delay / nodes
+	wb := pb.Energy / pb.Delay / nodes
+	lifeGain := repro.LifeFactor(rel.NodeTempC(wb), rel.NodeTempC(w0))
+	fmt.Printf("\nrunning at %s instead of 1.4GHz saves $%.2f/year and extends component life %.2fx\n",
+		pb.Label, saved, lifeGain)
+}

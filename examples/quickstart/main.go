@@ -1,0 +1,49 @@
+// Quickstart: sweep the DVS operating points for NAS FT class B on 8
+// simulated nodes, print the energy-delay crescendo, and pick the
+// "best" operating point under the paper's three weight presets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The default configuration is the paper's apparatus (16-node-class
+	// Pentium M laptops, 100 Mb Ethernet, ACPI battery measurement,
+	// 3 repetitions). For a quick demo we shrink the protocol.
+	cfg := repro.DefaultConfig()
+	cfg.Settle = 30 * repro.Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+
+	runner := repro.NewRunner(cfg)
+
+	ft := repro.NewFT('B', 8)
+	ft.IterOverride = 4 // a few iterations are enough for stable ratios
+
+	crescendo, err := runner.Sweep(ft, repro.Static{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	norm := crescendo.Normalized(0)
+	fmt.Println("NAS FT class B on 8 nodes — static DVS crescendo:")
+	fmt.Printf("%-10s %12s %10s %8s %8s\n", "point", "energy(J)", "delay(s)", "E/E0", "D/D0")
+	for i, p := range crescendo.Points {
+		fmt.Printf("%-10s %12.1f %10.2f %8.3f %8.3f\n",
+			p.Freq, p.Energy, p.Delay, norm.Points[i].Energy, norm.Points[i].Delay)
+	}
+
+	ops := crescendo.SelectOperatingPoints()
+	fmt.Println("\nBest operating points (weighted ED2P, Eq. 5/6):")
+	fmt.Printf("  HPC (d=%.1f):        %v\n", repro.DeltaHPC, ops.HPC.Freq)
+	fmt.Printf("  energy (d=%.0f):      %v\n", repro.DeltaEnergy, ops.Energy.Freq)
+	fmt.Printf("  performance (d=%.0f): %v\n", repro.DeltaPerformance, ops.Performance.Freq)
+
+	low := norm.Points[len(norm.Points)-1]
+	fmt.Printf("\nAt 600 MHz the cluster saves %.1f%% energy for %.1f%% extra time-to-solution.\n",
+		(1-low.Energy)*100, (low.Delay-1)*100)
+}

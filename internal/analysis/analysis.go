@@ -1,0 +1,280 @@
+// Package analysis provides the decision-support layer over measured
+// energy-delay crescendos: savings summaries, Pareto frontiers,
+// weight-factor crossovers, and the operating-cost and reliability
+// models the paper's introduction motivates DVS with ("$100 per
+// megawatt-hour ... a petaflop system will sustain hardware failures
+// once every twenty-four hours; component life expectancy decreases 50%
+// for every 10°C temperature increase").
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Saving summarizes one operating point against the reference: how much
+// energy it saves for how much extra time.
+type Saving struct {
+	Label         string
+	EnergySaved   float64 // fraction of reference energy, e.g. 0.30
+	DelayPenalty  float64 // fraction of reference delay, e.g. 0.08
+	WeightedED2P  float64 // under the HPC weight, normalized
+	ImprovementPc float64 // weighted-ED2P improvement over reference, percent
+}
+
+// Savings tabulates every point of a crescendo against point ref.
+func Savings(c core.Crescendo, ref int) []Saving {
+	base := c.Points[ref]
+	wBase := core.WeightedED2P(1, 1, core.DeltaHPC)
+	out := make([]Saving, 0, len(c.Points))
+	for _, p := range c.Points {
+		e := p.Energy / base.Energy
+		d := p.Delay / base.Delay
+		w := core.WeightedED2P(e, d, core.DeltaHPC)
+		out = append(out, Saving{
+			Label:         p.Label,
+			EnergySaved:   1 - e,
+			DelayPenalty:  d - 1,
+			WeightedED2P:  w,
+			ImprovementPc: (1 - w/wBase) * 100,
+		})
+	}
+	return out
+}
+
+// ParetoFrontier returns the indices of the crescendo's Pareto-optimal
+// points (no other point has both lower energy and lower delay), in
+// sweep order. Every "best" operating point under any weight factor
+// lies on this frontier.
+func ParetoFrontier(c core.Crescendo) []int {
+	var out []int
+	for i, p := range c.Points {
+		dominated := false
+		for j, q := range c.Points {
+			if i == j {
+				continue
+			}
+			if q.Energy <= p.Energy && q.Delay <= p.Delay &&
+				(q.Energy < p.Energy || q.Delay < p.Delay) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CrossoverDelta finds the weight factor at which the best operating
+// point flips between two points of a crescendo: the d solving
+// W(E1,D1,d) = W(E2,D2,d). It returns ok=false when the points do not
+// cross inside [-1, 1] (one dominates at every weight).
+func CrossoverDelta(a, b core.Point) (d float64, ok bool) {
+	// W(E,D,d) = E^(1-d) D^(2+2d); equality gives
+	// (1-d)·ln(E1/E2) + (2+2d)·ln(D1/D2) = 0.
+	le := math.Log(a.Energy / b.Energy)
+	ld := math.Log(a.Delay / b.Delay)
+	denom := le - 2*ld
+	if denom == 0 {
+		return 0, false
+	}
+	d = (le + 2*ld) / denom
+	if d < -1 || d > 1 || math.IsNaN(d) {
+		return 0, false
+	}
+	return d, true
+}
+
+// BestByDelta maps the whole weight range onto best operating points:
+// it samples d over [-1, 1] in steps and reports the intervals over
+// which each point is "best". This is the user-facing answer to "how
+// much do I have to care about performance before 1.4 GHz wins?".
+type DeltaInterval struct {
+	Label    string
+	From, To float64
+}
+
+// BestByDelta computes the best-point intervals with the given
+// resolution (number of samples ≥ 2).
+func BestByDelta(c core.Crescendo, samples int) []DeltaInterval {
+	if samples < 2 {
+		panic("analysis: need at least 2 samples")
+	}
+	var out []DeltaInterval
+	var cur *DeltaInterval
+	for i := 0; i < samples; i++ {
+		d := -1 + 2*float64(i)/float64(samples-1)
+		best := c.Best(d)
+		label := c.Points[best].Label
+		if cur == nil || cur.Label != label {
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			cur = &DeltaInterval{Label: label, From: d, To: d}
+		} else {
+			cur.To = d
+		}
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out
+}
+
+// CostModel prices cluster energy, following the paper's figures.
+type CostModel struct {
+	// USDPerKWh is the electricity price ($0.10/kWh in the paper).
+	USDPerKWh float64
+	// CoolingOverhead multiplies IT energy for dedicated cooling
+	// (the paper notes its estimates ignore cooling; a typical 2005
+	// machine room PUE-style factor is ~1.7).
+	CoolingOverhead float64
+}
+
+// DefaultCostModel returns the paper's $0.10/kWh with a 1.7 cooling
+// multiplier.
+func DefaultCostModel() CostModel {
+	return CostModel{USDPerKWh: 0.10, CoolingOverhead: 1.7}
+}
+
+// EnergyCostUSD prices joules of IT energy, including cooling.
+func (m CostModel) EnergyCostUSD(joules float64) float64 {
+	kwh := joules / 3.6e6
+	return kwh * m.CoolingOverhead * m.USDPerKWh
+}
+
+// AnnualCostUSD extrapolates a measured run to a year of continuous
+// operation: the run consumed joules over seconds of wall time.
+func (m CostModel) AnnualCostUSD(joules, seconds float64) float64 {
+	if seconds <= 0 {
+		panic(fmt.Sprintf("analysis: non-positive duration %v", seconds))
+	}
+	const yearSeconds = 365.25 * 24 * 3600
+	return m.EnergyCostUSD(joules / seconds * yearSeconds)
+}
+
+// ReliabilityModel converts node power into steady-state component
+// temperature and life expectancy, per the paper's rule of thumb:
+// life expectancy halves for every 10°C increase.
+type ReliabilityModel struct {
+	// AmbientC is the machine-room ambient temperature.
+	AmbientC float64
+	// ThermalResistanceCPerW converts dissipated watts into the
+	// steady-state temperature rise above ambient.
+	ThermalResistanceCPerW float64
+	// BaseAnnualFailureRate is the per-node failure probability per
+	// year at the reference temperature (the paper cites 2-3% for
+	// commodity components).
+	BaseAnnualFailureRate float64
+	// ReferenceTempC is the temperature at which the base rate holds.
+	ReferenceTempC float64
+}
+
+// DefaultReliabilityModel returns a commodity-node model: 22°C ambient,
+// 1.2°C/W case rise, 2.5%/year at 55°C.
+func DefaultReliabilityModel() ReliabilityModel {
+	return ReliabilityModel{
+		AmbientC:               22,
+		ThermalResistanceCPerW: 1.2,
+		BaseAnnualFailureRate:  0.025,
+		ReferenceTempC:         55,
+	}
+}
+
+// NodeTempC returns the steady-state component temperature at the given
+// average node power.
+func (m ReliabilityModel) NodeTempC(watts float64) float64 {
+	return m.AmbientC + m.ThermalResistanceCPerW*watts
+}
+
+// LifeFactor returns the component life multiplier when operating at
+// tempC instead of refC: ×2 for every 10°C decrease (the paper's rule).
+func LifeFactor(tempC, refC float64) float64 {
+	return math.Pow(2, (refC-tempC)/10)
+}
+
+// AnnualFailureRate returns the per-node failure probability per year
+// at the given average power.
+func (m ReliabilityModel) AnnualFailureRate(watts float64) float64 {
+	t := m.NodeTempC(watts)
+	rate := m.BaseAnnualFailureRate / LifeFactor(t, m.ReferenceTempC)
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// ClusterMTBFHours returns the expected hours between node failures for
+// a cluster of nodes drawing the given average power each, assuming
+// independent exponential failures.
+func (m ReliabilityModel) ClusterMTBFHours(nodes int, watts float64) float64 {
+	if nodes <= 0 {
+		panic("analysis: non-positive node count")
+	}
+	perNodePerHour := m.AnnualFailureRate(watts) / (365.25 * 24)
+	return 1 / (perNodePerHour * float64(nodes))
+}
+
+// CapChoice is one job's operating-point selection under a power cap.
+type CapChoice struct {
+	Job   int // index into the input crescendos
+	Point int // index into that job's crescendo
+}
+
+// PowerCapSchedule picks one operating point per job so that the summed
+// average power (energy/delay per job) stays at or below capWatts while
+// total delay is minimized. Jobs run concurrently on disjoint nodes, so
+// powers add and the makespan is the max delay; the optimizer is an
+// exhaustive search over the per-job frontiers, which is exact for the
+// handful of points per job the paper's hardware exposes. It returns
+// nil when even the lowest points exceed the cap.
+func PowerCapSchedule(jobs []core.Crescendo, capWatts float64) []CapChoice {
+	if len(jobs) == 0 {
+		return nil
+	}
+	type option struct {
+		watts float64
+		delay float64
+	}
+	opts := make([][]option, len(jobs))
+	for j, c := range jobs {
+		for _, p := range c.Points {
+			opts[j] = append(opts[j], option{watts: p.Energy / p.Delay, delay: p.Delay})
+		}
+	}
+	best := math.Inf(1)
+	var bestPick []int
+	pick := make([]int, len(jobs))
+	var walk func(j int, watts, worstDelay float64)
+	walk = func(j int, watts, worstDelay float64) {
+		if watts > capWatts || worstDelay >= best {
+			return // prune
+		}
+		if j == len(jobs) {
+			best = worstDelay
+			bestPick = append([]int(nil), pick...)
+			return
+		}
+		for i, o := range opts[j] {
+			pick[j] = i
+			d := worstDelay
+			if o.delay > d {
+				d = o.delay
+			}
+			walk(j+1, watts+o.watts, d)
+		}
+	}
+	walk(0, 0, 0)
+	if bestPick == nil {
+		return nil
+	}
+	out := make([]CapChoice, len(jobs))
+	for j, i := range bestPick {
+		out[j] = CapChoice{Job: j, Point: i}
+	}
+	return out
+}

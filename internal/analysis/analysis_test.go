@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func swimLike() core.Crescendo {
+	return core.Crescendo{Points: []core.Point{
+		{Label: "1.4GHz", Energy: 100, Delay: 10},
+		{Label: "1.2GHz", Energy: 90, Delay: 10.3},
+		{Label: "1.0GHz", Energy: 78, Delay: 10.8},
+		{Label: "800MHz", Energy: 68, Delay: 11.6},
+		{Label: "600MHz", Energy: 60, Delay: 13.0},
+	}}
+}
+
+func TestSavings(t *testing.T) {
+	s := Savings(swimLike(), 0)
+	if len(s) != 5 {
+		t.Fatal("length")
+	}
+	if s[0].EnergySaved != 0 || s[0].DelayPenalty != 0 || s[0].ImprovementPc != 0 {
+		t.Fatalf("reference row: %+v", s[0])
+	}
+	if math.Abs(s[4].EnergySaved-0.40) > 1e-9 {
+		t.Fatalf("600MHz saving %v", s[4].EnergySaved)
+	}
+	if math.Abs(s[4].DelayPenalty-0.30) > 1e-9 {
+		t.Fatalf("600MHz penalty %v", s[4].DelayPenalty)
+	}
+	// Interior points improve the weighted metric for this shape.
+	if s[2].ImprovementPc <= 0 {
+		t.Fatalf("1.0GHz improvement %v", s[2].ImprovementPc)
+	}
+}
+
+func TestParetoFrontierMonotoneCrescendo(t *testing.T) {
+	// Energy strictly falls while delay strictly rises: every point is
+	// Pareto optimal.
+	got := ParetoFrontier(swimLike())
+	if len(got) != 5 {
+		t.Fatalf("frontier %v", got)
+	}
+}
+
+func TestParetoFrontierDropsDominated(t *testing.T) {
+	c := swimLike()
+	// Make 800MHz strictly worse than 1.0GHz.
+	c.Points[3].Energy = 80
+	c.Points[3].Delay = 11.8
+	got := ParetoFrontier(c)
+	for _, i := range got {
+		if i == 3 {
+			t.Fatal("dominated point on the frontier")
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("frontier %v", got)
+	}
+}
+
+func TestCrossoverDelta(t *testing.T) {
+	a := core.Point{Energy: 1, Delay: 1}
+	b := core.Point{Energy: 0.7, Delay: 1.1}
+	d, ok := CrossoverDelta(a, b)
+	if !ok {
+		t.Fatal("expected a crossover")
+	}
+	// At the crossover the weighted metrics tie.
+	wa := core.WeightedED2P(a.Energy, a.Delay, d)
+	wb := core.WeightedED2P(b.Energy, b.Delay, d)
+	if math.Abs(wa-wb)/wa > 1e-9 {
+		t.Fatalf("no tie at d=%v: %v vs %v", d, wa, wb)
+	}
+	// b wins below the crossover (energy side), a above.
+	if core.WeightedED2P(b.Energy, b.Delay, d-0.1) >= core.WeightedED2P(a.Energy, a.Delay, d-0.1) {
+		t.Fatal("b should win below the crossover")
+	}
+	if core.WeightedED2P(b.Energy, b.Delay, d+0.1) <= core.WeightedED2P(a.Energy, a.Delay, d+0.1) {
+		t.Fatal("a should win above the crossover")
+	}
+}
+
+func TestCrossoverDeltaDominated(t *testing.T) {
+	// Strictly better on both axes: no crossover inside [-1, 1].
+	a := core.Point{Energy: 1, Delay: 1}
+	b := core.Point{Energy: 0.8, Delay: 0.9}
+	if _, ok := CrossoverDelta(a, b); ok {
+		t.Fatal("dominated pair should not cross")
+	}
+	// Identical points: degenerate.
+	if _, ok := CrossoverDelta(a, a); ok {
+		t.Fatal("identical points should not cross")
+	}
+}
+
+func TestBestByDelta(t *testing.T) {
+	ivs := BestByDelta(swimLike(), 201)
+	if len(ivs) < 2 {
+		t.Fatalf("intervals: %+v", ivs)
+	}
+	// Energy extreme picks the lowest point, performance extreme the
+	// fastest.
+	if ivs[0].Label != "600MHz" {
+		t.Fatalf("d=-1 best %q", ivs[0].Label)
+	}
+	if ivs[len(ivs)-1].Label != "1.4GHz" {
+		t.Fatalf("d=+1 best %q", ivs[len(ivs)-1].Label)
+	}
+	// Intervals are contiguous and ordered.
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].From <= ivs[i-1].To-1e-9 {
+			t.Fatalf("intervals overlap: %+v", ivs)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for samples<2")
+		}
+	}()
+	BestByDelta(swimLike(), 1)
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	// 1 kWh of IT load costs price × cooling overhead.
+	if got := m.EnergyCostUSD(3.6e6); math.Abs(got-0.17) > 1e-9 {
+		t.Fatalf("1kWh costs %v", got)
+	}
+	// Paper's example: ~100 MW continuous at $0.10/kWh is $10k/hour
+	// before cooling. Check within our model (divide overhead out).
+	perHour := m.EnergyCostUSD(100e6*3600) / m.CoolingOverhead
+	if math.Abs(perHour-10000) > 1 {
+		t.Fatalf("petaflop hour costs %v", perHour)
+	}
+	annual := m.AnnualCostUSD(30*3600, 3600) // 30 W continuous
+	if annual < 40 || annual > 50 {
+		t.Fatalf("30W annual cost %v", annual)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.AnnualCostUSD(1, 0)
+}
+
+func TestReliabilityModel(t *testing.T) {
+	m := DefaultReliabilityModel()
+	// The paper's rule: ×2 life per 10°C decrease.
+	if got := LifeFactor(45, 55); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("10C decrease factor %v", got)
+	}
+	if got := LifeFactor(65, 55); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("10C increase factor %v", got)
+	}
+	// Lower power → lower temperature → fewer failures.
+	hot := m.AnnualFailureRate(30)
+	cool := m.AnnualFailureRate(18)
+	if cool >= hot {
+		t.Fatalf("failure rates: cool %v hot %v", cool, hot)
+	}
+	// MTBF scales down with node count and up with cooling.
+	if m.ClusterMTBFHours(32, 30) >= m.ClusterMTBFHours(16, 30) {
+		t.Fatal("more nodes must fail more often")
+	}
+	if m.ClusterMTBFHours(16, 18) <= m.ClusterMTBFHours(16, 30) {
+		t.Fatal("cooler cluster must fail less often")
+	}
+	// Rate saturates at 1.
+	if m.AnnualFailureRate(1e6) != 1 {
+		t.Fatal("rate must clamp at 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.ClusterMTBFHours(0, 30)
+}
+
+// Property: the weighted-ED2P best point always lies on the Pareto
+// frontier.
+func TestBestOnFrontierProperty(t *testing.T) {
+	f := func(raw [5]uint16, dRaw uint8) bool {
+		d := (float64(dRaw)/255)*2 - 1
+		c := core.Crescendo{}
+		for i, r := range raw {
+			c.Points = append(c.Points, core.Point{
+				Label:  string(rune('a' + i)),
+				Energy: 1 + float64(r%500),
+				Delay:  1 + float64(r%97)/10,
+			})
+		}
+		best := c.Best(d)
+		for _, i := range ParetoFrontier(c) {
+			if i == best {
+				return true
+			}
+		}
+		// The best must be tied with a frontier point if not on it
+		// (equal energy and delay); check for duplicates.
+		bp := c.Points[best]
+		for _, i := range ParetoFrontier(c) {
+			if c.Points[i].Energy == bp.Energy && c.Points[i].Delay == bp.Delay {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerCapSchedule(t *testing.T) {
+	// Two identical swim-like jobs: 100J/10s = 10W at the top point
+	// down to 60J/13s ≈ 4.6W at the bottom.
+	jobs := []core.Crescendo{swimLike(), swimLike()}
+
+	// Generous cap: both jobs run at the fastest point.
+	picks := PowerCapSchedule(jobs, 25)
+	if picks == nil || picks[0].Point != 0 || picks[1].Point != 0 {
+		t.Fatalf("uncapped picks %+v", picks)
+	}
+	// Tight cap: both must slow down.
+	picks = PowerCapSchedule(jobs, 11)
+	if picks == nil {
+		t.Fatal("feasible cap returned nil")
+	}
+	var watts float64
+	for j, p := range picks {
+		pt := jobs[j].Points[p.Point]
+		watts += pt.Energy / pt.Delay
+		if p.Point == 0 {
+			t.Fatalf("job %d still at the top point under an 11W cap", j)
+		}
+	}
+	if watts > 11 {
+		t.Fatalf("schedule draws %.2f W over the cap", watts)
+	}
+	// Infeasible cap.
+	if got := PowerCapSchedule(jobs, 1); got != nil {
+		t.Fatalf("infeasible cap returned %+v", got)
+	}
+	if got := PowerCapSchedule(nil, 10); got != nil {
+		t.Fatal("empty jobs")
+	}
+}
+
+func TestPowerCapMinimizesMakespan(t *testing.T) {
+	// One job has much steeper delay costs; the optimizer should slow
+	// the cheaper-to-slow job first.
+	flexible := swimLike() // delay grows slowly
+	stiff := core.Crescendo{Points: []core.Point{
+		{Label: "fast", Energy: 100, Delay: 10},
+		{Label: "slow", Energy: 90, Delay: 25},
+	}}
+	picks := PowerCapSchedule([]core.Crescendo{flexible, stiff}, 18)
+	if picks == nil {
+		t.Fatal("infeasible?")
+	}
+	if picks[1].Point != 0 {
+		t.Fatalf("stiff job slowed: %+v", picks)
+	}
+	if picks[0].Point == 0 {
+		t.Fatalf("flexible job not slowed: %+v", picks)
+	}
+}

@@ -1,0 +1,359 @@
+// Package campaign runs experiment matrices defined declaratively: a
+// JSON spec names workloads, DVS strategies, and operating points, and
+// the driver produces the full cross product with the paper's
+// measurement protocol. It is how a study larger than one figure —
+// "all kernels × all strategies × all points, three repetitions" — is
+// scripted and archived reproducibly.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dvfs"
+	"repro/internal/dvs"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Spec is the JSON experiment matrix.
+type Spec struct {
+	// Name labels the campaign in outputs.
+	Name string `json:"name"`
+	// Reps is the repetition count (default 3, the paper's protocol).
+	Reps int `json:"reps,omitempty"`
+	// Settle is the battery-protocol settle time as a Go duration
+	// string (default "5m").
+	Settle string `json:"settle,omitempty"`
+	// ExactEnergy selects the integrator's ground truth instead of the
+	// ACPI battery estimate.
+	ExactEnergy bool `json:"exact_energy,omitempty"`
+	// Net selects the fabric: "100mb" (default) or "1gb".
+	Net string `json:"net,omitempty"`
+	// Seed feeds repetition jitter (default 1).
+	Seed int64 `json:"seed,omitempty"`
+
+	// Workloads and Strategies form the cross product with PointsMHz.
+	Workloads  []WorkloadSpec `json:"workloads"`
+	Strategies []StrategySpec `json:"strategies"`
+	// PointsMHz lists base operating points; empty means the full
+	// table. Ignored for cpuspeed (which owns the frequency).
+	PointsMHz []int `json:"points_mhz,omitempty"`
+}
+
+// WorkloadSpec names one workload instance.
+type WorkloadSpec struct {
+	// Kind is one of: ft, ep, cg, is, mg, lu, transpose, summa, swim,
+	// mgrid, membench, cachebench, regbench, comm256k, comm4k.
+	Kind string `json:"kind"`
+	// Class is the NPB class for kernels that have one (default "A").
+	Class string `json:"class,omitempty"`
+	// Procs is the rank count for kernels that take one (default 8).
+	Procs int `json:"procs,omitempty"`
+	// Iters overrides the iteration/pass count where supported.
+	Iters int `json:"iters,omitempty"`
+	// Size is a size parameter (SUMMA's N; default 4096).
+	Size int64 `json:"size,omitempty"`
+}
+
+// StrategySpec names one DVS strategy.
+type StrategySpec struct {
+	// Kind is one of: static, dynamic, cpuspeed, adaptive, slack.
+	Kind string `json:"kind"`
+	// Regions limits dynamic control to these PowerPack regions
+	// (empty = all marked regions).
+	Regions []string `json:"regions,omitempty"`
+	// IntervalMS overrides the cpuspeed sampling interval.
+	IntervalMS int `json:"interval_ms,omitempty"`
+}
+
+// Result is one cell of the campaign's cross product.
+type Result struct {
+	Campaign string  `json:"campaign"`
+	Workload string  `json:"workload"`
+	Strategy string  `json:"strategy"`
+	Point    string  `json:"point"`
+	EnergyJ  float64 `json:"energy_j"`
+	DelayS   float64 `json:"delay_s"`
+	Reps     int     `json:"reps_kept"`
+}
+
+// Parse reads and validates a JSON spec.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("campaign: no workloads")
+	}
+	if len(s.Strategies) == 0 {
+		return fmt.Errorf("campaign: no strategies")
+	}
+	for i := range s.Workloads {
+		if _, err := buildWorkload(s.Workloads[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Strategies {
+		if _, err := buildStrategy(s.Strategies[i]); err != nil {
+			return err
+		}
+	}
+	switch strings.ToLower(s.Net) {
+	case "", "100mb", "1gb":
+	default:
+		return fmt.Errorf("campaign: unknown net %q", s.Net)
+	}
+	if s.Settle != "" {
+		if _, err := time.ParseDuration(s.Settle); err != nil {
+			return fmt.Errorf("campaign: bad settle: %w", err)
+		}
+	}
+	return nil
+}
+
+// buildWorkload constructs the named workload.
+func buildWorkload(ws WorkloadSpec) (workloads.Workload, error) {
+	class := byte('A')
+	if ws.Class != "" {
+		class = ws.Class[0]
+	}
+	procs := ws.Procs
+	if procs == 0 {
+		procs = 8
+	}
+	switch strings.ToLower(ws.Kind) {
+	case "ft":
+		w := workloads.NewFT(class, procs)
+		w.IterOverride = ws.Iters
+		return w, nil
+	case "ep":
+		w := workloads.NewEP(class, procs)
+		if ws.Size > 0 {
+			w.PairsOverride = ws.Size
+		}
+		return w, nil
+	case "cg":
+		w := workloads.NewCG(class, procs)
+		w.IterOverride = ws.Iters
+		return w, nil
+	case "is":
+		w := workloads.NewIS(class, procs)
+		w.IterOverride = ws.Iters
+		return w, nil
+	case "mg":
+		w := workloads.NewMG(class, procs)
+		w.IterOverride = ws.Iters
+		return w, nil
+	case "lu":
+		w := workloads.NewLU(class, procs)
+		w.IterOverride = ws.Iters
+		return w, nil
+	case "transpose":
+		iters := ws.Iters
+		if iters == 0 {
+			iters = 1
+		}
+		return workloads.NewTranspose(iters), nil
+	case "summa":
+		n := ws.Size
+		if n == 0 {
+			n = 4096
+		}
+		grid := 2
+		if ws.Procs == 9 {
+			grid = 3
+		} else if ws.Procs == 16 {
+			grid = 4
+		}
+		return workloads.NewSumma(n, grid), nil
+	case "swim":
+		return workloads.NewSwim(orDefault(ws.Iters, 100)), nil
+	case "mgrid":
+		return workloads.NewMgrid(orDefault(ws.Iters, 100)), nil
+	case "membench":
+		return workloads.NewMemBench(orDefault(ws.Iters, 100)), nil
+	case "cachebench":
+		return workloads.NewCacheBench(orDefault(ws.Iters, 200000)), nil
+	case "regbench":
+		return workloads.NewRegBench(orDefault(ws.Iters, 5000)), nil
+	case "comm256k":
+		return workloads.NewCommBench256K(orDefault(ws.Iters, 400)), nil
+	case "comm4k":
+		return workloads.NewCommBench4K(orDefault(ws.Iters, 4000)), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown workload kind %q", ws.Kind)
+	}
+}
+
+func orDefault(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// buildStrategy constructs the named strategy.
+func buildStrategy(ss StrategySpec) (dvs.Strategy, error) {
+	switch strings.ToLower(ss.Kind) {
+	case "static":
+		return dvs.Static{}, nil
+	case "dynamic":
+		return dvs.NewDynamic(ss.Regions...), nil
+	case "cpuspeed":
+		d := dvs.NewCpuspeed()
+		if ss.IntervalMS > 0 {
+			d.Interval = sim.Duration(ss.IntervalMS) * sim.Millisecond
+		}
+		return d, nil
+	case "adaptive":
+		return dvs.NewAdaptive(), nil
+	case "slack":
+		return dvs.NewSlack(), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown strategy kind %q", ss.Kind)
+	}
+}
+
+// config assembles the runner configuration from the spec.
+func (s *Spec) config() cluster.Config {
+	cfg := cluster.DefaultConfig()
+	if s.Reps > 0 {
+		cfg.Reps = s.Reps
+	}
+	if s.Settle != "" {
+		d, _ := time.ParseDuration(s.Settle) // validated in Parse
+		cfg.Settle = sim.Duration(d.Nanoseconds())
+	}
+	if strings.EqualFold(s.Net, "1gb") {
+		cfg.Net = netsim.Gigabit()
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	cfg.UseTrueEnergy = s.ExactEnergy
+	return cfg
+}
+
+// points resolves the base operating-point indices to sweep.
+func (s *Spec) points(table dvfs.Table) ([]int, error) {
+	if len(s.PointsMHz) == 0 {
+		out := make([]int, table.Len())
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	var out []int
+	for _, mhz := range s.PointsMHz {
+		idx := table.IndexOf(dvfs.Hz(mhz) * dvfs.MHz)
+		if idx < 0 {
+			return nil, fmt.Errorf("campaign: no operating point at %d MHz", mhz)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+// Run executes the whole matrix and returns one Result per cell.
+// progress, if non-nil, receives a line per completed cell.
+func Run(s *Spec, progress func(string)) ([]Result, error) {
+	cfg := s.config()
+	runner := cluster.NewRunner(cfg)
+	idxs, err := s.points(cfg.Machine.Table)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, ws := range s.Workloads {
+		w, err := buildWorkload(ws)
+		if err != nil {
+			return nil, err
+		}
+		for _, ss := range s.Strategies {
+			strat, err := buildStrategy(ss)
+			if err != nil {
+				return nil, err
+			}
+			cells := idxs
+			if strat.Name() == "cpuspeed" {
+				cells = []int{0} // the daemon owns the frequency
+			}
+			for _, idx := range cells {
+				agg, err := runner.Run(w, strat, idx)
+				if err != nil {
+					return nil, fmt.Errorf("campaign: %s/%s: %w", w.Name(), strat.Name(), err)
+				}
+				energy := agg.EnergyACPI
+				if cfg.UseTrueEnergy {
+					energy = agg.EnergyTrue
+				}
+				label := cfg.Machine.Table.At(idx).Freq.String()
+				if strat.Name() == "cpuspeed" {
+					label = "auto"
+				}
+				res := Result{
+					Campaign: s.Name,
+					Workload: w.Name(),
+					Strategy: strat.Name(),
+					Point:    label,
+					EnergyJ:  float64(energy),
+					DelayS:   agg.Delay.Seconds(),
+					Reps:     agg.Kept,
+				}
+				out = append(out, res)
+				if progress != nil {
+					progress(fmt.Sprintf("%s %s@%s: %.0f J, %.2f s",
+						res.Workload, res.Strategy, res.Point, res.EnergyJ, res.DelayS))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON emits the results as a JSON array.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// WriteTable emits the results as a fixed-width table, normalizing each
+// (workload, strategy) group to its first point.
+func WriteTable(w io.Writer, results []Result) error {
+	base := map[string]Result{}
+	if _, err := fmt.Fprintf(w, "%-14s %-10s %-8s %12s %10s %8s %8s\n",
+		"workload", "strategy", "point", "energy(J)", "delay(s)", "E/E0", "D/D0"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		key := r.Workload + "/" + r.Strategy
+		b, ok := base[key]
+		if !ok {
+			b = r
+			base[key] = r
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %-10s %-8s %12.1f %10.2f %8.3f %8.3f\n",
+			r.Workload, r.Strategy, r.Point, r.EnergyJ, r.DelayS,
+			r.EnergyJ/b.EnergyJ, r.DelayS/b.DelayS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

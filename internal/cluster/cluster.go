@@ -1,0 +1,471 @@
+// Package cluster assembles the full experimental apparatus of the
+// paper — nodes, switch, MPI world, PowerPack profiler, ACPI batteries
+// and the Baytech strip — and runs (workload × DVS strategy × operating
+// point) experiments under the paper's measurement protocol: charge,
+// settle on battery power, run, poll, repeat at least three times, and
+// reject outliers.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/dvs"
+	"repro/internal/machine"
+	"repro/internal/meter"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/power"
+	"repro/internal/powerpack"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Config describes the cluster and the measurement protocol.
+type Config struct {
+	Machine machine.Params
+	Net     netsim.Config
+	MPI     mpi.Config
+
+	// Fabric, when non-nil, builds the interconnect instead of the
+	// default single switch from Net — e.g. an oversubscribed two-tier
+	// netsim.Tree for topology studies.
+	Fabric func(eng *sim.Engine, ports int) netsim.Fabric
+
+	// BatteryCapacityMWh is the full-charge capacity per node.
+	BatteryCapacityMWh float64
+	// BatteryRefreshMin/Max bound the per-node ACPI refresh period;
+	// the paper observes 15-20 s depending on the unit.
+	BatteryRefreshMin, BatteryRefreshMax sim.Duration
+	// BaytechInterval is the power strip's polling period.
+	BaytechInterval sim.Duration
+	// Settle is the on-battery discharge time before the workload
+	// starts (the paper waits ~5 minutes for accurate measurements).
+	Settle sim.Duration
+	// StartStagger bounds the per-rank launch skew.
+	StartStagger sim.Duration
+	// MaxSimTime aborts a run that exceeds this much simulated time.
+	MaxSimTime sim.Duration
+
+	// Reps is how many times each experiment repeats (paper: ≥3).
+	Reps int
+	// OutlierK is the MAD cutoff for outlier rejection.
+	OutlierK float64
+	// Seed feeds the per-repetition jitter (battery charge phase,
+	// launch skew) that makes repetitions meaningfully different.
+	Seed int64
+
+	// TraceInterval, when positive, attaches a power-trace recorder
+	// sampling every node at this period; the recorder is returned on
+	// each Result for CSV export and analysis.
+	TraceInterval sim.Duration
+
+	// UseTrueEnergy makes Sweep and RunCpuspeed report the exact
+	// integrated energy instead of the ACPI battery estimate. The
+	// paper-faithful protocol uses the battery (and long runs to
+	// amortize its 15-20 s refresh); exact energy is for calibration
+	// and for short diagnostic runs.
+	UseTrueEnergy bool
+}
+
+// DefaultConfig returns the paper's apparatus.
+func DefaultConfig() Config {
+	return Config{
+		Machine:            machine.DefaultParams(),
+		Net:                netsim.Default100Mb(),
+		MPI:                mpi.DefaultConfig(),
+		BatteryCapacityMWh: meter.DefaultBatteryCapacityMWh,
+		BatteryRefreshMin:  15 * sim.Second,
+		BatteryRefreshMax:  20 * sim.Second,
+		BaytechInterval:    sim.Minute,
+		Settle:             5 * sim.Minute,
+		StartStagger:       10 * sim.Millisecond,
+		MaxSimTime:         12 * sim.Hour,
+		Reps:               3,
+		OutlierK:           3.5,
+		Seed:               1,
+	}
+}
+
+// NodeResult is the per-node outcome of one run.
+type NodeResult struct {
+	Energy      power.Joules // exact energy over the measured window
+	ACPI        power.Joules // battery-protocol estimate (0 if unreadable)
+	Transitions int
+	Busy, Idle  sim.Duration
+	StateTime   map[machine.State]sim.Duration
+	Component   map[power.Component]power.Joules
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	Workload string
+	Strategy string
+	Label    string  // operating-point label, e.g. "800MHz" or "cpuspeed"
+	Freq     dvfs.Hz // 0 for cpuspeed
+
+	Delay         sim.Duration // time-to-solution (slowest rank)
+	EnergyTrue    power.Joules // exact, all nodes
+	EnergyACPI    power.Joules // battery estimate, all nodes
+	EnergyBaytech power.Joules // power-strip estimate, all nodes
+
+	Nodes    []NodeResult
+	Profiles []powerpack.RegionProfile // cluster-merged, by region
+	Events   []powerpack.Event
+	// Trace is the power-trace recorder, non-nil when the config set
+	// TraceInterval.
+	Trace *trace.Recorder
+	// BatteryExhausted reports that at least one node's battery hit
+	// zero during the run, invalidating its ACPI estimate (the paper's
+	// protocol recharges fully between runs to avoid this).
+	BatteryExhausted bool
+}
+
+// Runner executes experiments on a fresh simulated cluster per run.
+type Runner struct {
+	cfg Config
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.BatteryCapacityMWh <= 0:
+		return errors.New("cluster: non-positive battery capacity")
+	case c.BatteryRefreshMin <= 0 || c.BatteryRefreshMax < c.BatteryRefreshMin:
+		return errors.New("cluster: invalid battery refresh range")
+	case c.BaytechInterval <= 0:
+		return errors.New("cluster: non-positive Baytech interval")
+	case c.Settle < 0:
+		return errors.New("cluster: negative settle time")
+	case c.StartStagger < 0:
+		return errors.New("cluster: negative start stagger")
+	case c.MaxSimTime <= c.Settle:
+		return errors.New("cluster: MaxSimTime must exceed the settle time")
+	case c.OutlierK < 0:
+		return errors.New("cluster: negative outlier cutoff")
+	case c.TraceInterval < 0:
+		return errors.New("cluster: negative trace interval")
+	}
+	return nil
+}
+
+// NewRunner returns a runner for the configuration; it panics on an
+// invalid configuration, which is a programming error.
+func NewRunner(cfg Config) *Runner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Runner{cfg: cfg}
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// ErrTimeout reports a run that exceeded MaxSimTime.
+var ErrTimeout = errors.New("cluster: run exceeded MaxSimTime")
+
+// RunOnce executes a single (workload, strategy, base operating point)
+// run with the given jitter seed and returns its measurements.
+func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, seed int64) (*Result, error) {
+	cfg := r.cfg
+	table := cfg.Machine.Table
+	if baseIdx < 0 || baseIdx >= table.Len() {
+		return nil, fmt.Errorf("cluster: base operating point %d out of range", baseIdx)
+	}
+	nRanks := w.Ranks()
+	rng := rand.New(rand.NewSource(seed))
+
+	eng := sim.NewEngine()
+	defer eng.Close()
+
+	nodes := make([]*machine.Node, nRanks)
+	for i := range nodes {
+		nodes[i] = machine.NewNode(eng, i, cfg.Machine)
+	}
+	var fab netsim.Fabric
+	if cfg.Fabric != nil {
+		fab = cfg.Fabric(eng, nRanks)
+	} else {
+		fab = netsim.New(eng, nRanks, cfg.Net)
+	}
+	world := mpi.NewWorld(eng, nodes, fab, cfg.MPI)
+	prof := powerpack.NewProfiler()
+
+	// Completion tracking shared with daemons and meters.
+	finished := 0
+	done := false
+	var endAt sim.Time
+
+	policy := strat.Install(dvs.InstallCtx{
+		Eng:     eng,
+		Nodes:   nodes,
+		BaseIdx: baseIdx,
+		Done:    func() bool { return done },
+	})
+	ppctxs := make([]*powerpack.NodeCtx, nRanks)
+	for i, n := range nodes {
+		ppctxs[i] = powerpack.NewNodeCtx(n, prof, policy)
+	}
+
+	// Measurement protocol: full charge (with a fraction of a mWh of
+	// per-node phase jitter), disconnect, settle, then run.
+	batteries := make([]*meter.ACPIBattery, nRanks)
+	refreshSpan := cfg.BatteryRefreshMax - cfg.BatteryRefreshMin
+	for i, n := range nodes {
+		capacity := cfg.BatteryCapacityMWh - rng.Float64()
+		refresh := cfg.BatteryRefreshMin
+		if refreshSpan > 0 {
+			refresh += sim.Duration(rng.Int63n(int64(refreshSpan)))
+		}
+		batteries[i] = meter.NewACPIBattery(n, capacity, refresh)
+		batteries[i].Spawn(eng, func() bool { return done })
+	}
+	strip := meter.NewBaytechStrip(nodes, cfg.BaytechInterval)
+	strip.Spawn(eng, func() bool { return done })
+	var rec *trace.Recorder
+	if cfg.TraceInterval > 0 {
+		rec = trace.NewRecorder(nodes, cfg.TraceInterval)
+		rec.Spawn(eng, func() bool { return done })
+	}
+
+	// Energy snapshot at the measurement window's start.
+	startAt := sim.Time(cfg.Settle)
+	startEnergy := make([]power.Joules, nRanks)
+	startComp := make([]map[power.Component]power.Joules, nRanks)
+	startBusy := make([]sim.Duration, nRanks)
+	startIdle := make([]sim.Duration, nRanks)
+	startState := make([]map[machine.State]sim.Duration, nRanks)
+	startTrans := make([]int, nRanks)
+	eng.Schedule(startAt, func() {
+		for i, n := range nodes {
+			startEnergy[i] = n.EnergyAt(startAt)
+			m := make(map[power.Component]power.Joules)
+			for _, c := range power.Components() {
+				m[c] = n.ComponentEnergyAt(c, startAt)
+			}
+			startComp[i] = m
+			startBusy[i], startIdle[i] = n.Utilization()
+			st := make(map[machine.State]sim.Duration)
+			for _, s := range machine.States() {
+				st[s] = n.StateTime(s)
+			}
+			startState[i] = st
+			startTrans[i] = n.Transitions()
+		}
+	})
+
+	endEnergy := make([]power.Joules, nRanks)
+	endComp := make([]map[power.Component]power.Joules, nRanks)
+	endBusy := make([]sim.Duration, nRanks)
+	endIdle := make([]sim.Duration, nRanks)
+	endState := make([]map[machine.State]sim.Duration, nRanks)
+	endTrans := make([]int, nRanks)
+	for i := 0; i < nRanks; i++ {
+		i := i
+		launch := startAt
+		if cfg.StartStagger > 0 {
+			launch = launch.Add(sim.Duration(rng.Int63n(int64(cfg.StartStagger))))
+		}
+		eng.SpawnAt(launch, fmt.Sprintf("app.rank%d", i), func(p *sim.Proc) {
+			w.Run(workloads.Ctx{P: p, Rank: world.Rank(i), Node: nodes[i], PP: ppctxs[i]})
+			finished++
+			if finished == nRanks {
+				endAt = p.Now()
+				for j, n := range nodes {
+					endEnergy[j] = n.EnergyAt(endAt)
+					m := make(map[power.Component]power.Joules)
+					for _, c := range power.Components() {
+						m[c] = n.ComponentEnergyAt(c, endAt)
+					}
+					endComp[j] = m
+					endBusy[j], endIdle[j] = n.Utilization()
+					st := make(map[machine.State]sim.Duration)
+					for _, s := range machine.States() {
+						st[s] = n.StateTime(s)
+					}
+					endState[j] = st
+					endTrans[j] = n.Transitions()
+				}
+				done = true
+			}
+		})
+	}
+
+	if _, err := eng.Run(sim.Time(cfg.MaxSimTime)); err != nil {
+		return nil, fmt.Errorf("cluster: %s/%s@%s: %w", w.Name(), strat.Name(), table.At(baseIdx).Freq, err)
+	}
+	if !done {
+		return nil, fmt.Errorf("%w: %s/%s", ErrTimeout, w.Name(), strat.Name())
+	}
+
+	res := &Result{
+		Workload: w.Name(),
+		Strategy: strat.Name(),
+		Label:    table.At(baseIdx).Freq.String(),
+		Freq:     table.At(baseIdx).Freq,
+		Delay:    endAt.Sub(startAt),
+		Events:   prof.Events(),
+		Trace:    rec,
+	}
+	if strat.Name() == "cpuspeed" {
+		res.Label = "cpuspeed"
+		res.Freq = 0
+	}
+
+	regions := map[string]bool{}
+	for i := range nodes {
+		nr := NodeResult{
+			Energy:      endEnergy[i] - startEnergy[i],
+			Transitions: endTrans[i] - startTrans[i],
+			StateTime:   make(map[machine.State]sim.Duration),
+			Component:   make(map[power.Component]power.Joules),
+		}
+		nr.Busy = endBusy[i] - startBusy[i]
+		nr.Idle = endIdle[i] - startIdle[i]
+		for _, s := range machine.States() {
+			nr.StateTime[s] = endState[i][s] - startState[i][s]
+		}
+		for _, c := range power.Components() {
+			nr.Component[c] = endComp[i][c] - startComp[i][c]
+		}
+		if batteries[i].Exhausted() {
+			res.BatteryExhausted = true
+		}
+		if est, ok := batteries[i].EnergyBetween(startAt, endAt); ok {
+			nr.ACPI = est
+			res.EnergyACPI += est
+		}
+		if est, ok := strip.EnergyBetween(i, startAt, endAt); ok {
+			res.EnergyBaytech += est
+		}
+		res.EnergyTrue += nr.Energy
+		res.Nodes = append(res.Nodes, nr)
+		for _, rp := range ppctxs[i].Profiles() {
+			regions[rp.Region] = true
+		}
+	}
+	for region := range regions {
+		res.Profiles = append(res.Profiles, powerpack.MergeProfiles(ppctxs, region))
+	}
+	sortProfiles(res.Profiles)
+	return res, nil
+}
+
+func sortProfiles(ps []powerpack.RegionProfile) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Region < ps[j-1].Region; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Aggregate is the repeated-run summary of one experiment point.
+type Aggregate struct {
+	Runs []*Result // every repetition, in order
+
+	// Kept is how many repetitions survived outlier rejection.
+	Kept int
+	// Delay and the energies are means over the kept repetitions.
+	Delay         sim.Duration
+	EnergyTrue    power.Joules
+	EnergyACPI    power.Joules
+	EnergyBaytech power.Joules
+}
+
+// Run repeats the experiment cfg.Reps times with different jitter
+// seeds, rejects outliers on the measured (ACPI) energy, and averages.
+func (r *Runner) Run(w workloads.Workload, strat dvs.Strategy, baseIdx int) (*Aggregate, error) {
+	reps := r.cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	agg := &Aggregate{}
+	var acpis []float64
+	for rep := 0; rep < reps; rep++ {
+		res, err := r.RunOnce(w, strat, baseIdx, r.cfg.Seed+int64(rep)*7919)
+		if err != nil {
+			return nil, err
+		}
+		agg.Runs = append(agg.Runs, res)
+		acpis = append(acpis, float64(res.EnergyACPI))
+	}
+	kept := stats.RejectOutliers(acpis, r.cfg.OutlierK)
+	keptSet := map[float64]int{}
+	for _, v := range kept {
+		keptSet[v]++
+	}
+	var dSum sim.Duration
+	var eTrue, eACPI, eBay power.Joules
+	n := 0
+	for _, res := range agg.Runs {
+		if keptSet[float64(res.EnergyACPI)] == 0 {
+			continue
+		}
+		keptSet[float64(res.EnergyACPI)]--
+		n++
+		dSum += res.Delay
+		eTrue += res.EnergyTrue
+		eACPI += res.EnergyACPI
+		eBay += res.EnergyBaytech
+	}
+	if n == 0 { // cannot happen (RejectOutliers keeps ≥1), but be safe
+		return nil, errors.New("cluster: all repetitions rejected")
+	}
+	agg.Kept = n
+	agg.Delay = dSum / sim.Duration(n)
+	agg.EnergyTrue = eTrue / power.Joules(n)
+	agg.EnergyACPI = eACPI / power.Joules(n)
+	agg.EnergyBaytech = eBay / power.Joules(n)
+	return agg, nil
+}
+
+// reportedEnergy selects the energy source Sweep reports.
+func (r *Runner) reportedEnergy(agg *Aggregate) power.Joules {
+	if r.cfg.UseTrueEnergy {
+		return agg.EnergyTrue
+	}
+	return agg.EnergyACPI
+}
+
+// Sweep runs the strategy at every operating point and returns the
+// energy-delay crescendo (measured energies, exact delays), highest
+// frequency first.
+func (r *Runner) Sweep(w workloads.Workload, strat dvs.Strategy) (core.Crescendo, error) {
+	table := r.cfg.Machine.Table
+	c := core.Crescendo{Workload: w.Name()}
+	for i := 0; i < table.Len(); i++ {
+		agg, err := r.Run(w, strat, i)
+		if err != nil {
+			return core.Crescendo{}, err
+		}
+		c.Points = append(c.Points, core.Point{
+			Label:  fmt.Sprintf("%s@%s", strat.Name(), table.At(i).Freq),
+			Freq:   table.At(i).Freq,
+			Energy: float64(r.reportedEnergy(agg)),
+			Delay:  agg.Delay.Seconds(),
+		})
+	}
+	return c, nil
+}
+
+// RunCpuspeed runs the cpuspeed strategy (whose base point is the boot
+// default, the highest frequency) and returns its single point.
+func (r *Runner) RunCpuspeed(w workloads.Workload, daemon *dvs.Cpuspeed) (core.Point, error) {
+	agg, err := r.Run(w, daemon, 0)
+	if err != nil {
+		return core.Point{}, err
+	}
+	return core.Point{
+		Label:  "cpuspeed",
+		Energy: float64(r.reportedEnergy(agg)),
+		Delay:  agg.Delay.Seconds(),
+	}, nil
+}

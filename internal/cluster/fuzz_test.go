@@ -1,0 +1,104 @@
+package cluster
+
+// Cross-stack fuzzing: random-but-deterministic synthetic workloads
+// driven through the full apparatus (cost model, MPI runtime, DVS
+// strategies, power accounting, battery protocol), with the invariants
+// every run must satisfy regardless of program shape.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestFuzzSyntheticWorkloads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Settle = 10 * sim.Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	r := NewRunner(cfg)
+
+	for seed := int64(1); seed <= 12; seed++ {
+		procs := int(seed%4) + 1 // 1..4 ranks
+		w := workloads.NewSynthetic(seed, procs, 12, 2)
+
+		top, err := r.RunOnce(w, dvs.Static{}, 0, seed)
+		if err != nil {
+			t.Fatalf("seed %d top: %v", seed, err)
+		}
+		low, err := r.RunOnce(w, dvs.Static{}, 4, seed)
+		if err != nil {
+			t.Fatalf("seed %d low: %v", seed, err)
+		}
+
+		// Invariant: positive energy and delay everywhere.
+		if top.EnergyTrue <= 0 || top.Delay <= 0 {
+			t.Fatalf("seed %d: non-positive results %+v", seed, top)
+		}
+		// Invariant: 600 MHz is never faster.
+		if low.Delay < top.Delay {
+			t.Fatalf("seed %d: 600MHz faster (%v < %v)", seed, low.Delay, top.Delay)
+		}
+		// Invariant: 600 MHz never uses more energy than 1.4 GHz on
+		// these mixes (all phases have nonincreasing power and at most
+		// 2.35x slowdown; base power never dominates that hard).
+		ratio := float64(low.EnergyTrue) / float64(top.EnergyTrue)
+		if ratio > 1.05 {
+			t.Fatalf("seed %d: energy ratio %.3f at 600MHz", seed, ratio)
+		}
+		for i, nr := range top.Nodes {
+			// Invariant: utilization covers the window exactly.
+			if got := nr.Busy + nr.Idle; got != top.Delay {
+				t.Fatalf("seed %d node %d: busy+idle %v != delay %v", seed, i, got, top.Delay)
+			}
+			// Invariant: component energies sum to the node total.
+			var sum power.Joules
+			for _, c := range power.Components() {
+				sum += nr.Component[c]
+			}
+			if math.Abs(float64(sum-nr.Energy)) > 1e-6 {
+				t.Fatalf("seed %d node %d: component sum mismatch", seed, i)
+			}
+		}
+
+		// Invariant: reruns are bit-identical.
+		again, err := r.RunOnce(w, dvs.Static{}, 0, seed)
+		if err != nil {
+			t.Fatalf("seed %d rerun: %v", seed, err)
+		}
+		if again.EnergyTrue != top.EnergyTrue || again.Delay != top.Delay {
+			t.Fatalf("seed %d: nondeterministic rerun", seed)
+		}
+	}
+}
+
+func TestFuzzSyntheticUnderEveryStrategy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Settle = 10 * sim.Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	r := NewRunner(cfg)
+
+	strategies := []dvs.Strategy{
+		dvs.Static{},
+		dvs.NewDynamic(), // acts on the "synth" regions
+		dvs.NewCpuspeed(),
+		dvs.NewAdaptive(),
+	}
+	for seed := int64(20); seed < 24; seed++ {
+		w := workloads.NewSynthetic(seed, 3, 10, 2)
+		for _, strat := range strategies {
+			res, err := r.RunOnce(w, strat, 0, seed)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, strat.Name(), err)
+			}
+			if res.EnergyTrue <= 0 || res.Delay <= 0 {
+				t.Fatalf("seed %d %s: degenerate result", seed, strat.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestED2P(t *testing.T) {
+	if ED2P(2, 3) != 18 {
+		t.Fatal("E*D^2")
+	}
+}
+
+func TestWeightedED2PReductions(t *testing.T) {
+	e, d := 0.7, 1.3
+	// d=0 reduces to plain ED2P.
+	if !almost(WeightedED2P(e, d, 0), ED2P(e, d), 1e-12) {
+		t.Fatal("delta 0")
+	}
+	// d=-1 reduces to E² (all weight on energy).
+	if !almost(WeightedED2P(e, d, -1), e*e, 1e-12) {
+		t.Fatal("delta -1")
+	}
+	// d=1 reduces to D⁴ (all weight on performance).
+	if !almost(WeightedED2P(e, d, 1), d*d*d*d, 1e-12) {
+		t.Fatal("delta 1")
+	}
+}
+
+func TestWeightedED2PValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { WeightedED2P(1, 1, 1.5) },
+		func() { WeightedED2P(1, 1, -2) },
+		func() { WeightedED2P(0, 1, 0) },
+		func() { WeightedED2P(1, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// The paper's worked example: under d=0.2, two points differing 5% in
+// performance need about a 13-14% energy saving to tie.
+func TestPaperWorkedExample(t *testing.T) {
+	frac := RequiredEnergyFraction(DeltaHPC, 1.05)
+	saving := 1 - frac
+	if saving < 0.12 || saving < 0.131-0.02 || saving > 0.15 {
+		t.Fatalf("required saving %.4f, paper says ≈13.1%%", saving)
+	}
+	// Check it really ties.
+	w1 := WeightedED2P(1, 1, DeltaHPC)
+	w2 := WeightedED2P(frac, 1.05, DeltaHPC)
+	if !almost(w1, w2, 1e-9) {
+		t.Fatalf("not a tie: %v vs %v", w1, w2)
+	}
+}
+
+// Figure 2's d=0.4 line: 10% slowdown needs roughly 32-36% energy
+// saving (the paper reads ~32% off the plot).
+func TestFigure2Line(t *testing.T) {
+	frac := RequiredEnergyFraction(0.4, 1.1)
+	if frac < 0.60 || frac > 0.70 {
+		t.Fatalf("fraction %.4f outside plot-read band", frac)
+	}
+}
+
+func TestRequiredEnergyFractionEdges(t *testing.T) {
+	if RequiredEnergyFraction(1, 1) != 1 {
+		t.Fatal("d=1, x=1")
+	}
+	if RequiredEnergyFraction(1, 1.01) != 0 {
+		t.Fatal("d=1, x>1: no saving can compensate")
+	}
+	if RequiredEnergyFraction(-1, 2) != 1 {
+		// d=-1: delay exponent is 0 and energy exponent 2; equality
+		// needs E=1 regardless of x.
+		t.Fatal("d=-1")
+	}
+	for _, bad := range []func(){
+		func() { RequiredEnergyFraction(2, 1.1) },
+		func() { RequiredEnergyFraction(0, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestLargerDeltaDemandsMoreSavings(t *testing.T) {
+	// Paper: "For the same performance loss, larger d values require
+	// increased energy savings."
+	x := 1.2
+	prev := RequiredEnergyFraction(-0.8, x)
+	for _, d := range []float64{-0.4, 0, 0.2, 0.4, 0.8} {
+		frac := RequiredEnergyFraction(d, x)
+		if frac >= prev {
+			t.Fatalf("fraction not decreasing at d=%v: %v >= %v", d, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestTradeoffCurve(t *testing.T) {
+	xs, ys := TradeoffCurve(0.2, 2.0, 11)
+	if len(xs) != 11 || len(ys) != 11 {
+		t.Fatal("lengths")
+	}
+	if xs[0] != 1 || xs[10] != 2 {
+		t.Fatalf("range: %v..%v", xs[0], xs[10])
+	}
+	if ys[0] != 1 {
+		t.Fatalf("y at x=1 is %v", ys[0])
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] >= ys[i-1] {
+			t.Fatal("curve must decrease")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n<2")
+		}
+	}()
+	TradeoffCurve(0, 2, 1)
+}
+
+// mkCrescendo builds a swim-like crescendo: steady energy decrease,
+// modest delay increase.
+func mkCrescendo() Crescendo {
+	tab := dvfs.PentiumM14()
+	pts := []Point{
+		{Label: "1400MHz", Freq: tab.At(0).Freq, Energy: 100, Delay: 10},
+		{Label: "1200MHz", Freq: tab.At(1).Freq, Energy: 90, Delay: 10.3},
+		{Label: "1000MHz", Freq: tab.At(2).Freq, Energy: 78, Delay: 10.8},
+		{Label: "800MHz", Freq: tab.At(3).Freq, Energy: 68, Delay: 11.6},
+		{Label: "600MHz", Freq: tab.At(4).Freq, Energy: 60, Delay: 13.0},
+	}
+	return Crescendo{Workload: "swim-like", Points: pts}
+}
+
+func TestNormalized(t *testing.T) {
+	c := mkCrescendo().Normalized(0)
+	if c.Points[0].Energy != 1 || c.Points[0].Delay != 1 {
+		t.Fatal("reference point must normalize to 1")
+	}
+	if !almost(c.Points[4].Energy, 0.6, 1e-12) || !almost(c.Points[4].Delay, 1.3, 1e-12) {
+		t.Fatalf("600MHz point: %+v", c.Points[4])
+	}
+	if c.Workload != "swim-like" {
+		t.Fatal("workload label lost")
+	}
+}
+
+func TestBestPerWeight(t *testing.T) {
+	c := mkCrescendo()
+	// All weight on performance: fastest point wins.
+	if got := c.Best(DeltaPerformance); got != 0 {
+		t.Fatalf("performance best = %d", got)
+	}
+	// All weight on energy: lowest-energy point wins.
+	if got := c.Best(DeltaEnergy); got != 4 {
+		t.Fatalf("energy best = %d", got)
+	}
+	// HPC weight picks an interior point for this swim-like shape.
+	got := c.Best(DeltaHPC)
+	if got == 0 || got == len(c.Points)-1 {
+		t.Fatalf("HPC best = %d, expected interior", got)
+	}
+	ops := c.SelectOperatingPoints()
+	if ops.Performance.Freq != 1400*dvfs.MHz || ops.Energy.Freq != 600*dvfs.MHz {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestBestOnMgridLikeShape(t *testing.T) {
+	// mgrid: energy barely falls while delay balloons — the HPC best
+	// stays at the top frequency (paper Table 1).
+	c := Crescendo{Points: []Point{
+		{Label: "1400MHz", Energy: 100, Delay: 10},
+		{Label: "1200MHz", Energy: 99, Delay: 11.6},
+		{Label: "1000MHz", Energy: 97, Delay: 13.9},
+		{Label: "800MHz", Energy: 95, Delay: 17.4},
+		{Label: "600MHz", Energy: 96, Delay: 23.2},
+	}}
+	if got := c.Best(DeltaHPC); got != 0 {
+		t.Fatalf("HPC best = %d, want 0 for compute-bound shape", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	c := mkCrescendo()
+	best := c.Best(DeltaHPC)
+	imp := c.Improvement(best, 0, DeltaHPC)
+	if imp <= 0 || imp >= 1 {
+		t.Fatalf("improvement %.4f", imp)
+	}
+	if got := c.Improvement(0, 0, DeltaHPC); got != 0 {
+		t.Fatalf("self improvement %v", got)
+	}
+}
+
+// Property: Best always returns the argmin of the metric, and
+// normalization never changes the selection.
+func TestBestInvariantProperty(t *testing.T) {
+	f := func(raw [5]uint16, dRaw uint8) bool {
+		d := (float64(dRaw)/255)*2 - 1
+		c := Crescendo{}
+		for i, r := range raw {
+			c.Points = append(c.Points, Point{
+				Energy: 1 + float64(r%1000),
+				Delay:  1 + float64(i)*0.1 + float64(r%97)/100,
+			})
+		}
+		best := c.Best(d)
+		w := WeightedED2P(c.Points[best].Energy, c.Points[best].Delay, d)
+		for _, p := range c.Points {
+			if WeightedED2P(p.Energy, p.Delay, d)+1e-12 < w {
+				return false
+			}
+		}
+		return c.Normalized(0).Best(d) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package dvfs models dynamic voltage and frequency scaling hardware:
+// the discrete operating points (frequency/voltage pairs) a processor
+// exposes, and the latency and energy cost of switching between them.
+//
+// The reference part is the Intel Pentium M 1.4 GHz ("Banias") with
+// Enhanced SpeedStep, the processor used by the paper's 16-node cluster;
+// its five operating points are the paper's Table 2.
+package dvfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Hz is a clock frequency in cycles per second.
+type Hz int64
+
+// Convenient frequency units.
+const (
+	KHz Hz = 1000
+	MHz    = 1000 * KHz
+	GHz    = 1000 * MHz
+)
+
+// String formats the frequency in the largest convenient unit.
+func (f Hz) String() string {
+	switch {
+	case f >= GHz && f%(100*MHz) == 0:
+		return fmt.Sprintf("%.1fGHz", float64(f)/float64(GHz))
+	case f >= MHz:
+		return fmt.Sprintf("%dMHz", f/MHz)
+	default:
+		return fmt.Sprintf("%dHz", int64(f))
+	}
+}
+
+// MHz reports the frequency as an integer count of megahertz, the unit
+// the paper's tables use.
+func (f Hz) MHz() int { return int(f / MHz) }
+
+// OperatingPoint is one DVS setting: a core frequency and the supply
+// voltage required to sustain it.
+type OperatingPoint struct {
+	Freq    Hz
+	Voltage float64 // volts
+}
+
+// String formats the point as "1.4GHz@1.484V".
+func (op OperatingPoint) String() string {
+	return fmt.Sprintf("%v@%.3fV", op.Freq, op.Voltage)
+}
+
+// CyclesToDuration converts a cycle count at this operating point into
+// simulated time, rounding up so work never takes zero time.
+func (op OperatingPoint) CyclesToDuration(cycles int64) sim.Duration {
+	if cycles <= 0 {
+		return 0
+	}
+	// duration_ns = cycles * 1e9 / freq, rounded up.
+	num := cycles * int64(sim.Second)
+	d := num / int64(op.Freq)
+	if num%int64(op.Freq) != 0 {
+		d++
+	}
+	return sim.Duration(d)
+}
+
+// Table is an immutable list of operating points ordered from highest to
+// lowest frequency.
+type Table struct {
+	points []OperatingPoint
+}
+
+// NewTable builds a table from points, sorting them from highest to
+// lowest frequency. It panics on an empty list, duplicate frequencies,
+// or non-positive frequency/voltage, since a malformed table is a
+// configuration bug.
+func NewTable(points []OperatingPoint) Table {
+	if len(points) == 0 {
+		panic("dvfs: empty operating-point table")
+	}
+	sorted := make([]OperatingPoint, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Freq > sorted[j].Freq })
+	for i, op := range sorted {
+		if op.Freq <= 0 || op.Voltage <= 0 {
+			panic(fmt.Sprintf("dvfs: invalid operating point %v", op))
+		}
+		if i > 0 && sorted[i-1].Freq == op.Freq {
+			panic(fmt.Sprintf("dvfs: duplicate frequency %v", op.Freq))
+		}
+	}
+	return Table{points: sorted}
+}
+
+// PentiumM14 returns the five SpeedStep operating points of the paper's
+// Table 2 for the Pentium M 1.4 GHz.
+func PentiumM14() Table {
+	return NewTable([]OperatingPoint{
+		{Freq: 1400 * MHz, Voltage: 1.484},
+		{Freq: 1200 * MHz, Voltage: 1.436},
+		{Freq: 1000 * MHz, Voltage: 1.308},
+		{Freq: 800 * MHz, Voltage: 1.180},
+		{Freq: 600 * MHz, Voltage: 0.956},
+	})
+}
+
+// Len reports the number of operating points.
+func (t Table) Len() int { return len(t.points) }
+
+// At returns the i-th point, 0 being the highest frequency.
+func (t Table) At(i int) OperatingPoint { return t.points[i] }
+
+// Points returns a copy of all points, highest frequency first.
+func (t Table) Points() []OperatingPoint {
+	out := make([]OperatingPoint, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// Highest returns the fastest operating point.
+func (t Table) Highest() OperatingPoint { return t.points[0] }
+
+// Lowest returns the slowest operating point.
+func (t Table) Lowest() OperatingPoint { return t.points[len(t.points)-1] }
+
+// IndexOf returns the index of the point with exactly freq, or -1.
+func (t Table) IndexOf(freq Hz) int {
+	for i, op := range t.points {
+		if op.Freq == freq {
+			return i
+		}
+	}
+	return -1
+}
+
+// ByFreq returns the operating point with exactly freq. ok is false if
+// the table has no such point.
+func (t Table) ByFreq(freq Hz) (op OperatingPoint, ok bool) {
+	if i := t.IndexOf(freq); i >= 0 {
+		return t.points[i], true
+	}
+	return OperatingPoint{}, false
+}
+
+// ClosestTo returns the table point whose frequency is nearest to freq,
+// preferring the faster point on ties (a governor asked for an
+// unavailable speed should not silently underperform).
+func (t Table) ClosestTo(freq Hz) OperatingPoint {
+	best := t.points[0]
+	bestDiff := absHz(best.Freq - freq)
+	for _, op := range t.points[1:] {
+		d := absHz(op.Freq - freq)
+		if d < bestDiff { // strict: earlier (faster) point wins ties
+			best, bestDiff = op, d
+		}
+	}
+	return best
+}
+
+// StepDown returns the next slower point than the one at index i, or the
+// same point if i is already the slowest.
+func (t Table) StepDown(i int) int {
+	if i < len(t.points)-1 {
+		return i + 1
+	}
+	return i
+}
+
+// StepUp returns the next faster point than the one at index i, or the
+// same point if i is already the fastest.
+func (t Table) StepUp(i int) int {
+	if i > 0 {
+		return i - 1
+	}
+	return i
+}
+
+func absHz(f Hz) Hz {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Transition models the cost of moving between operating points.
+// SpeedStep transitions stall the core while the PLL relocks and the
+// voltage ramps; the paper quotes ~10 microseconds as the manufacturer's
+// lower bound and observes that transition overhead makes dynamic-mode
+// delay slightly exceed static-mode delay.
+type Transition struct {
+	// Latency is the core stall per switch.
+	Latency sim.Duration
+	// Energy is the extra energy per switch in joules (voltage ramp,
+	// PLL relock); small but nonzero.
+	Energy float64
+}
+
+// PentiumMTransition returns the transition model used for the paper's
+// hardware: 10 µs stall (Intel's quoted lower bound) and a small fixed
+// energy cost.
+func PentiumMTransition() Transition {
+	return Transition{Latency: 10 * sim.Microsecond, Energy: 0.0002}
+}
+
+// VoltageAt estimates the supply voltage needed for an arbitrary
+// frequency by linear interpolation between the table's points
+// (clamped at the ends). Platform builders use it to derive custom
+// operating-point tables from a measured f-V curve.
+func (t Table) VoltageAt(freq Hz) float64 {
+	if freq >= t.points[0].Freq {
+		return t.points[0].Voltage
+	}
+	last := t.points[len(t.points)-1]
+	if freq <= last.Freq {
+		return last.Voltage
+	}
+	for i := 1; i < len(t.points); i++ {
+		hi, lo := t.points[i-1], t.points[i]
+		if freq >= lo.Freq {
+			frac := float64(freq-lo.Freq) / float64(hi.Freq-lo.Freq)
+			return lo.Voltage + frac*(hi.Voltage-lo.Voltage)
+		}
+	}
+	return last.Voltage
+}
+
+// Subdivide builds a finer table by inserting steps evenly-spaced
+// points between the table's extremes, with voltages interpolated from
+// the original curve. It models a processor exposing more P-states
+// than the Pentium M's five.
+func (t Table) Subdivide(steps int) Table {
+	if steps < 2 {
+		panic("dvfs: Subdivide needs at least 2 steps")
+	}
+	top := t.Highest().Freq
+	bottom := t.Lowest().Freq
+	pts := make([]OperatingPoint, steps)
+	for i := 0; i < steps; i++ {
+		f := bottom + Hz(int64(top-bottom)*int64(i)/int64(steps-1))
+		pts[i] = OperatingPoint{Freq: f, Voltage: t.VoltageAt(f)}
+	}
+	return NewTable(pts)
+}

@@ -1,0 +1,224 @@
+package dvfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHzString(t *testing.T) {
+	cases := []struct {
+		f    Hz
+		want string
+	}{
+		{1400 * MHz, "1.4GHz"},
+		{600 * MHz, "600MHz"},
+		{1 * GHz, "1.0GHz"},
+		{1500, "1500Hz"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("%d: got %q want %q", int64(c.f), got, c.want)
+		}
+	}
+	if (800 * MHz).MHz() != 800 {
+		t.Error("MHz conversion")
+	}
+}
+
+func TestPentiumM14Table(t *testing.T) {
+	tab := PentiumM14()
+	if tab.Len() != 5 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Highest().Freq != 1400*MHz || tab.Highest().Voltage != 1.484 {
+		t.Fatalf("Highest = %v", tab.Highest())
+	}
+	if tab.Lowest().Freq != 600*MHz || tab.Lowest().Voltage != 0.956 {
+		t.Fatalf("Lowest = %v", tab.Lowest())
+	}
+	// Paper Table 2: voltages strictly decrease with frequency.
+	for i := 1; i < tab.Len(); i++ {
+		if tab.At(i).Voltage >= tab.At(i-1).Voltage {
+			t.Errorf("voltage not decreasing at %d: %v >= %v", i, tab.At(i).Voltage, tab.At(i-1).Voltage)
+		}
+		if tab.At(i).Freq >= tab.At(i-1).Freq {
+			t.Errorf("frequency not decreasing at %d", i)
+		}
+	}
+	if got, ok := tab.ByFreq(1000 * MHz); !ok || got.Voltage != 1.308 {
+		t.Fatalf("ByFreq(1000MHz) = %v, %v", got, ok)
+	}
+	if _, ok := tab.ByFreq(900 * MHz); ok {
+		t.Fatal("ByFreq(900MHz) should miss")
+	}
+}
+
+func TestNewTableSortsAndValidates(t *testing.T) {
+	tab := NewTable([]OperatingPoint{
+		{Freq: 600 * MHz, Voltage: 1.0},
+		{Freq: 1400 * MHz, Voltage: 1.5},
+		{Freq: 1000 * MHz, Voltage: 1.2},
+	})
+	if tab.At(0).Freq != 1400*MHz || tab.At(2).Freq != 600*MHz {
+		t.Fatalf("not sorted: %v", tab.Points())
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty", func() { NewTable(nil) })
+	mustPanic("dup freq", func() {
+		NewTable([]OperatingPoint{{Freq: GHz, Voltage: 1}, {Freq: GHz, Voltage: 1.1}})
+	})
+	mustPanic("zero voltage", func() {
+		NewTable([]OperatingPoint{{Freq: GHz, Voltage: 0}})
+	})
+}
+
+func TestPointsReturnsCopy(t *testing.T) {
+	tab := PentiumM14()
+	pts := tab.Points()
+	pts[0].Freq = 1
+	if tab.Highest().Freq != 1400*MHz {
+		t.Fatal("Points leaked internal slice")
+	}
+}
+
+func TestClosestTo(t *testing.T) {
+	tab := PentiumM14()
+	cases := []struct {
+		ask  Hz
+		want Hz
+	}{
+		{1400 * MHz, 1400 * MHz},
+		{2 * GHz, 1400 * MHz},
+		{100 * MHz, 600 * MHz},
+		{900 * MHz, 1000 * MHz}, // tie: faster point wins
+		{850 * MHz, 800 * MHz},
+		{1100 * MHz, 1200 * MHz}, // tie: faster wins
+	}
+	for _, c := range cases {
+		if got := tab.ClosestTo(c.ask); got.Freq != c.want {
+			t.Errorf("ClosestTo(%v) = %v, want %v", c.ask, got.Freq, c.want)
+		}
+	}
+}
+
+func TestStepUpDown(t *testing.T) {
+	tab := PentiumM14()
+	if tab.StepDown(0) != 1 || tab.StepDown(4) != 4 {
+		t.Error("StepDown")
+	}
+	if tab.StepUp(4) != 3 || tab.StepUp(0) != 0 {
+		t.Error("StepUp")
+	}
+}
+
+func TestCyclesToDuration(t *testing.T) {
+	op := OperatingPoint{Freq: 1 * GHz, Voltage: 1}
+	if d := op.CyclesToDuration(1000); d != 1000*sim.Nanosecond {
+		t.Fatalf("1000 cycles @1GHz = %v", d)
+	}
+	op = OperatingPoint{Freq: 1400 * MHz, Voltage: 1}
+	// 7 cycles at 1.4GHz = 5ns exactly.
+	if d := op.CyclesToDuration(7); d != 5*sim.Nanosecond {
+		t.Fatalf("7 cycles @1.4GHz = %v", d)
+	}
+	// 1 cycle rounds up to 1ns.
+	if d := op.CyclesToDuration(1); d != 1*sim.Nanosecond {
+		t.Fatalf("1 cycle @1.4GHz = %v", d)
+	}
+	if d := op.CyclesToDuration(0); d != 0 {
+		t.Fatalf("0 cycles = %v", d)
+	}
+	if d := op.CyclesToDuration(-5); d != 0 {
+		t.Fatalf("-5 cycles = %v", d)
+	}
+}
+
+// Property: durations are monotone in cycles and inversely so in
+// frequency, and never truncate to zero for positive work.
+func TestCyclesToDurationProperty(t *testing.T) {
+	tab := PentiumM14()
+	f := func(rawCycles uint32, idx uint8) bool {
+		cycles := int64(rawCycles%10_000_000) + 1
+		i := int(idx) % tab.Len()
+		op := tab.At(i)
+		d := op.CyclesToDuration(cycles)
+		if d <= 0 {
+			return false
+		}
+		// More cycles never takes less time.
+		if op.CyclesToDuration(cycles+1) < d {
+			return false
+		}
+		// A slower clock never finishes sooner.
+		if i+1 < tab.Len() {
+			if tab.At(i+1).CyclesToDuration(cycles) < d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPentiumMTransition(t *testing.T) {
+	tr := PentiumMTransition()
+	if tr.Latency != 10*sim.Microsecond {
+		t.Fatalf("Latency = %v", tr.Latency)
+	}
+	if tr.Energy <= 0 {
+		t.Fatal("transition energy must be positive")
+	}
+}
+
+func TestVoltageAt(t *testing.T) {
+	tab := PentiumM14()
+	// Exact table points return table voltages.
+	for _, op := range tab.Points() {
+		if got := tab.VoltageAt(op.Freq); got != op.Voltage {
+			t.Errorf("VoltageAt(%v) = %v want %v", op.Freq, got, op.Voltage)
+		}
+	}
+	// Midpoint interpolates.
+	mid := tab.VoltageAt(1300 * MHz)
+	if mid <= 1.436 || mid >= 1.484 {
+		t.Fatalf("VoltageAt(1.3GHz) = %v", mid)
+	}
+	// Clamped at the ends.
+	if tab.VoltageAt(2*GHz) != 1.484 || tab.VoltageAt(100*MHz) != 0.956 {
+		t.Fatal("clamping")
+	}
+}
+
+func TestSubdivide(t *testing.T) {
+	tab := PentiumM14().Subdivide(9)
+	if tab.Len() != 9 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Highest().Freq != 1400*MHz || tab.Lowest().Freq != 600*MHz {
+		t.Fatal("extremes")
+	}
+	// Voltage still decreases monotonically.
+	for i := 1; i < tab.Len(); i++ {
+		if tab.At(i).Voltage >= tab.At(i-1).Voltage {
+			t.Fatalf("voltage not decreasing at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PentiumM14().Subdivide(1)
+}

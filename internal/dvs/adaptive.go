@@ -1,0 +1,176 @@
+package dvs
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/powerpack"
+	"repro/internal/sim"
+)
+
+// Adaptive is an automatic version of the paper's hand-tuned dynamic
+// control — the direction its conclusion points at. Instead of a human
+// choosing the operating point for each marked region, the governor
+// learns it online: the first visits to a region sample each operating
+// point once (measuring the region's time and energy at that point),
+// then every later visit runs at the point minimizing the weighted ED2P
+// under the configured weight factor. Each node learns independently,
+// so load imbalance yields per-node settings.
+//
+// Regions shorter than MinSample when first measured are left at the
+// base point: their per-visit DVS transitions would cost more than the
+// slack is worth, and their measurements would be noise.
+type Adaptive struct {
+	// Delta is the weight factor for the selection metric
+	// (core.DeltaHPC by default).
+	Delta float64
+	// MinSample is the minimum measured region duration for the
+	// governor to keep tuning it.
+	MinSample sim.Duration
+}
+
+// NewAdaptive returns the governor with the paper's HPC weight.
+func NewAdaptive() *Adaptive {
+	return &Adaptive{Delta: core.DeltaHPC, MinSample: 10 * sim.Millisecond}
+}
+
+// Name implements Strategy.
+func (*Adaptive) Name() string { return "adaptive" }
+
+// regionKey identifies a (node, region) learning cell.
+type regionKey struct {
+	node   int
+	region string
+}
+
+type regionState struct {
+	// nextProbe is the operating-point index to sample next; once it
+	// passes the table, the cell is converged.
+	nextProbe int
+	// samples[i] is the (energy, time) observed at point i.
+	samples []core.Point
+	// chosen is the converged operating-point index (-1 while probing).
+	chosen int
+	// skip marks regions too short to be worth tuning.
+	skip bool
+
+	// per-visit measurement context
+	entryTime   sim.Time
+	entryEnergy power.Joules
+	entryIdx    int
+}
+
+type adaptivePolicy struct {
+	a       *Adaptive
+	baseIdx int
+	cells   map[regionKey]*regionState
+	depth   map[int]int
+}
+
+// Install implements Strategy.
+func (a *Adaptive) Install(ctx InstallCtx) powerpack.RegionPolicy {
+	for _, n := range ctx.Nodes {
+		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+	}
+	return &adaptivePolicy{
+		a:       a,
+		baseIdx: ctx.BaseIdx,
+		cells:   make(map[regionKey]*regionState),
+		depth:   make(map[int]int),
+	}
+}
+
+// OnEnter implements powerpack.RegionPolicy.
+func (ap *adaptivePolicy) OnEnter(p *sim.Proc, n *machine.Node, region string) {
+	ap.depth[n.ID()]++
+	if ap.depth[n.ID()] != 1 {
+		return // only the outermost region is steered
+	}
+	key := regionKey{node: n.ID(), region: region}
+	st := ap.cells[key]
+	if st == nil {
+		table := n.Params().Table
+		st = &regionState{
+			samples: make([]core.Point, table.Len()),
+			chosen:  -1,
+		}
+		ap.cells[key] = st
+	}
+	if st.skip {
+		return
+	}
+	target := st.chosen
+	if target < 0 {
+		target = st.nextProbe
+	}
+	st.entryIdx = target
+	if target != n.OPIndex() {
+		n.SetOperatingPointIndex(p, target)
+	}
+	st.entryTime = p.Now()
+	st.entryEnergy = n.EnergyAt(p.Now())
+}
+
+// OnExit implements powerpack.RegionPolicy.
+func (ap *adaptivePolicy) OnExit(p *sim.Proc, n *machine.Node, region string) {
+	if ap.depth[n.ID()] == 0 {
+		panic("dvs: adaptive region exit without enter")
+	}
+	ap.depth[n.ID()]--
+	if ap.depth[n.ID()] != 0 {
+		return
+	}
+	key := regionKey{node: n.ID(), region: region}
+	st := ap.cells[key]
+	if st == nil || st.skip {
+		return
+	}
+	now := p.Now()
+	elapsed := now.Sub(st.entryTime)
+	if st.chosen < 0 {
+		if elapsed < ap.a.MinSample {
+			// Not worth tuning; park at base forever.
+			st.skip = true
+		} else {
+			st.samples[st.entryIdx] = core.Point{
+				Energy: float64(n.EnergyAt(now) - st.entryEnergy),
+				Delay:  elapsed.Seconds(),
+			}
+			st.nextProbe++
+			if st.nextProbe >= len(st.samples) {
+				st.chosen = ap.converge(st.samples)
+			}
+		}
+	}
+	if n.OPIndex() != ap.baseIdx {
+		n.SetOperatingPointIndex(p, ap.baseIdx)
+	}
+}
+
+// converge picks the weighted-ED2P argmin over the sampled points.
+func (ap *adaptivePolicy) converge(samples []core.Point) int {
+	best, bestVal := 0, math.Inf(1)
+	for i, s := range samples {
+		if s.Energy <= 0 || s.Delay <= 0 {
+			continue
+		}
+		v := core.WeightedED2P(s.Energy, s.Delay, ap.a.Delta)
+		if v < bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// Chosen reports the converged operating-point index for a node's
+// region, or -1 while it is still probing (or skipped). Exposed for
+// tests and analysis tools.
+func (ap *adaptivePolicy) Chosen(node int, region string) int {
+	st := ap.cells[regionKey{node: node, region: region}]
+	if st == nil || st.chosen < 0 || st.skip {
+		return -1
+	}
+	return st.chosen
+}

@@ -1,0 +1,88 @@
+package dvs
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/powerpack"
+	"repro/internal/sim"
+)
+
+// Cpuspeed models the Fedora Core 2 cpuspeed daemon: each node runs an
+// independent instance that samples CPU utilization from /proc/stat on
+// a fixed interval, jumps to the maximum frequency as soon as the CPU
+// looks busy, and steps down one operating point at a time while it
+// looks idle.
+//
+// Because MPICH busy-polls, MPI wait time is indistinguishable from
+// work in /proc/stat, so — as the paper observes — the daemon mostly
+// parks scientific codes at the top frequency and conserves little.
+type Cpuspeed struct {
+	// Interval is the sampling period (the daemon's -i option).
+	Interval sim.Duration
+	// RaiseBusy is the busy fraction at or above which the daemon
+	// jumps straight to the highest operating point.
+	RaiseBusy float64
+	// LowerBusy is the busy fraction at or below which the daemon
+	// steps down one operating point.
+	LowerBusy float64
+}
+
+// NewCpuspeed returns the daemon with its stock configuration: 1 s
+// interval, raise on >75% busy, lower on <25% busy.
+func NewCpuspeed() *Cpuspeed {
+	return &Cpuspeed{
+		Interval:  sim.Second,
+		RaiseBusy: 0.75,
+		LowerBusy: 0.25,
+	}
+}
+
+// Name implements Strategy.
+func (*Cpuspeed) Name() string { return "cpuspeed" }
+
+// Install implements Strategy: it spawns one daemon process per node.
+// The BaseIdx is ignored — the daemon owns the frequency — except that
+// nodes start at the highest point, as after boot.
+func (c *Cpuspeed) Install(ctx InstallCtx) powerpack.RegionPolicy {
+	if c.Interval <= 0 {
+		panic("dvs: Cpuspeed with non-positive interval")
+	}
+	for _, n := range ctx.Nodes {
+		n := n
+		ctx.Eng.Spawn(fmt.Sprintf("cpuspeed%d", n.ID()), func(p *sim.Proc) {
+			c.daemon(p, n, ctx.Done)
+		})
+	}
+	return nil
+}
+
+// daemon is one node's governor loop.
+func (c *Cpuspeed) daemon(p *sim.Proc, n *machine.Node, done func() bool) {
+	prevBusy, prevIdle := n.Utilization()
+	for {
+		p.Sleep(c.Interval)
+		if done != nil && done() {
+			return
+		}
+		busy, idle := n.Utilization()
+		db, di := busy-prevBusy, idle-prevIdle
+		prevBusy, prevIdle = busy, idle
+		total := db + di
+		if total <= 0 {
+			continue
+		}
+		util := float64(db) / float64(total)
+		table := n.Params().Table
+		switch {
+		case util >= c.RaiseBusy:
+			if n.OPIndex() != 0 {
+				n.SetOperatingPointIndex(p, 0)
+			}
+		case util <= c.LowerBusy:
+			if next := table.StepDown(n.OPIndex()); next != n.OPIndex() {
+				n.SetOperatingPointIndex(p, next)
+			}
+		}
+	}
+}

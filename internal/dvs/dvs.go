@@ -1,0 +1,139 @@
+// Package dvs implements the three distributed DVS strategies the paper
+// studies (Section 4):
+//
+//  1. Cpuspeed — the stock Linux daemon: per-node, interval-driven,
+//     steering frequency from /proc/stat CPU-idle percentages.
+//  2. Static — one synchronized fixed frequency on all nodes for the
+//     whole run.
+//  3. Dynamic — application-directed control: PowerPack calls inserted
+//     at region boundaries drop to a low operating point inside
+//     slack-heavy program phases and restore the base point on exit.
+package dvs
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/powerpack"
+	"repro/internal/sim"
+)
+
+// InstallCtx is what a strategy needs to arm itself on a cluster.
+type InstallCtx struct {
+	Eng   *sim.Engine
+	Nodes []*machine.Node
+	// BaseIdx is the operating point the experiment sweeps (the x-axis
+	// of the paper's crescendos).
+	BaseIdx int
+	// Done reports whether the workload has completed; daemons poll it
+	// to terminate so the simulation can drain.
+	Done func() bool
+}
+
+// Strategy is one distributed DVS policy.
+type Strategy interface {
+	// Name identifies the strategy in reports ("cpuspeed", "static",
+	// "dynamic").
+	Name() string
+	// Install arms the strategy on the cluster before the workload
+	// starts, returning the region policy PowerPack should apply (nil
+	// when the strategy ignores application regions).
+	Install(ctx InstallCtx) powerpack.RegionPolicy
+}
+
+// Static pins every node to the base operating point for the whole run
+// (the paper's "static control": the user synchronizes and sets the
+// frequency for all nodes to a single value).
+type Static struct{}
+
+// Name implements Strategy.
+func (Static) Name() string { return "static" }
+
+// Install implements Strategy.
+func (Static) Install(ctx InstallCtx) powerpack.RegionPolicy {
+	for _, n := range ctx.Nodes {
+		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+	}
+	return nil
+}
+
+// Dynamic is the paper's hand-tuned dynamic control: nodes start at the
+// base point; when the application enters a marked slack region the
+// node drops to the lowest operating point, and restores the base point
+// on exit. Regions holds the marked region names to act on (empty =
+// act on every region).
+type Dynamic struct {
+	// Regions, if non-empty, limits the policy to these region names.
+	Regions []string
+	// TargetIdx is the operating point used inside regions; a negative
+	// value means the table's lowest point.
+	TargetIdx int
+}
+
+// NewDynamic builds the paper's configuration: drop to the minimum
+// speed inside the named regions.
+func NewDynamic(regions ...string) *Dynamic {
+	return &Dynamic{Regions: regions, TargetIdx: -1}
+}
+
+// Name implements Strategy.
+func (*Dynamic) Name() string { return "dynamic" }
+
+type dynamicPolicy struct {
+	d       *Dynamic
+	baseIdx int
+	target  int
+	depth   map[int]int // per node: nesting depth of acted-on regions
+}
+
+// Install implements Strategy.
+func (d *Dynamic) Install(ctx InstallCtx) powerpack.RegionPolicy {
+	for _, n := range ctx.Nodes {
+		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+	}
+	target := d.TargetIdx
+	if target < 0 {
+		if len(ctx.Nodes) == 0 {
+			panic("dvs: Dynamic.Install with no nodes")
+		}
+		target = ctx.Nodes[0].Params().Table.Len() - 1
+	}
+	return &dynamicPolicy{d: d, baseIdx: ctx.BaseIdx, target: target, depth: make(map[int]int)}
+}
+
+func (dp *dynamicPolicy) applies(region string) bool {
+	if len(dp.d.Regions) == 0 {
+		return true
+	}
+	for _, r := range dp.d.Regions {
+		if r == region {
+			return true
+		}
+	}
+	return false
+}
+
+// OnEnter implements powerpack.RegionPolicy.
+func (dp *dynamicPolicy) OnEnter(p *sim.Proc, n *machine.Node, region string) {
+	if !dp.applies(region) {
+		return
+	}
+	dp.depth[n.ID()]++
+	if dp.depth[n.ID()] == 1 {
+		n.SetOperatingPointIndex(p, dp.target)
+	}
+}
+
+// OnExit implements powerpack.RegionPolicy.
+func (dp *dynamicPolicy) OnExit(p *sim.Proc, n *machine.Node, region string) {
+	if !dp.applies(region) {
+		return
+	}
+	if dp.depth[n.ID()] == 0 {
+		panic(fmt.Sprintf("dvs: region %q exit without enter on node %d", region, n.ID()))
+	}
+	dp.depth[n.ID()]--
+	if dp.depth[n.ID()] == 0 {
+		n.SetOperatingPointIndex(p, dp.baseIdx)
+	}
+}

@@ -1,0 +1,88 @@
+package dvs
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/powerpack"
+	"repro/internal/sim"
+)
+
+// Slack is an MPI-aware interval governor — the successor idea to the
+// paper's hand-tuned dynamic control (what the "jitter"-style systems
+// published right after it automate). Unlike cpuspeed, which reads
+// /proc/stat and is blind to busy-polling MPI waits, this governor
+// instruments the runtime itself: it samples each node's time in the
+// Spin and Blocked states, and scales nodes whose wait fraction is high
+// down one operating point per interval (and back up when they become
+// busy). Load imbalance then produces per-node frequencies — waiting
+// nodes idle along slowly while the critical path stays fast — with no
+// application annotations at all.
+type Slack struct {
+	// Interval is the sampling period.
+	Interval sim.Duration
+	// DownWaitFrac is the wait fraction at or above which a node steps
+	// down one operating point.
+	DownWaitFrac float64
+	// UpWaitFrac is the wait fraction at or below which a node steps
+	// back up one point.
+	UpWaitFrac float64
+}
+
+// NewSlack returns the governor with its default tuning: 500 ms
+// interval, step down when more than 50% of the interval was MPI wait,
+// step up when under 20%.
+func NewSlack() *Slack {
+	return &Slack{
+		Interval:     500 * sim.Millisecond,
+		DownWaitFrac: 0.5,
+		UpWaitFrac:   0.2,
+	}
+}
+
+// Name implements Strategy.
+func (*Slack) Name() string { return "slack" }
+
+// Install implements Strategy: one governor process per node, starting
+// from the base operating point.
+func (g *Slack) Install(ctx InstallCtx) powerpack.RegionPolicy {
+	if g.Interval <= 0 {
+		panic("dvs: Slack with non-positive interval")
+	}
+	for _, n := range ctx.Nodes {
+		n := n
+		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+		ctx.Eng.Spawn(fmt.Sprintf("slack%d", n.ID()), func(p *sim.Proc) {
+			g.daemon(p, n, ctx.BaseIdx, ctx.Done)
+		})
+	}
+	return nil
+}
+
+func (g *Slack) daemon(p *sim.Proc, n *machine.Node, baseIdx int, done func() bool) {
+	wait := func() sim.Duration {
+		return n.StateTime(machine.Spin) + n.StateTime(machine.Blocked)
+	}
+	prev := wait()
+	for {
+		p.Sleep(g.Interval)
+		if done != nil && done() {
+			return
+		}
+		cur := wait()
+		frac := float64(cur-prev) / float64(g.Interval)
+		prev = cur
+		table := n.Params().Table
+		switch {
+		case frac >= g.DownWaitFrac:
+			if next := table.StepDown(n.OPIndex()); next != n.OPIndex() {
+				n.SetOperatingPointIndex(p, next)
+			}
+		case frac <= g.UpWaitFrac:
+			// Never exceed the experiment's base operating point.
+			if next := table.StepUp(n.OPIndex()); next >= baseIdx && next != n.OPIndex() {
+				n.SetOperatingPointIndex(p, next)
+			}
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// State is what the node's CPU is doing right now. It determines both
+// the power draw and how the time is booked in the /proc/stat-style
+// utilization counters that the cpuspeed governor samples.
+type State int
+
+// Node activity states.
+const (
+	// Idle: core halted; books as idle time.
+	Idle State = iota
+	// Compute: core-clocked work at full activity; books as busy.
+	Compute
+	// MemoryStall: core mostly stalled on DRAM; busy in /proc/stat
+	// (the OS cannot tell a stall from work).
+	MemoryStall
+	// Copy: MPI buffer copies; busy.
+	Copy
+	// Spin: busy-wait polling for communication progress; busy.
+	Spin
+	// Blocked: parked in the kernel waiting for I/O; idle in /proc/stat.
+	Blocked
+	// Switching: stalled in a DVS transition; busy.
+	Switching
+	numStates
+)
+
+// States lists all node states in order.
+func States() []State {
+	return []State{Idle, Compute, MemoryStall, Copy, Spin, Blocked, Switching}
+}
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Compute:
+		return "compute"
+	case MemoryStall:
+		return "memstall"
+	case Copy:
+		return "copy"
+	case Spin:
+		return "spin"
+	case Blocked:
+		return "blocked"
+	case Switching:
+		return "switching"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// countsBusy reports whether time in this state appears as non-idle in
+// /proc/stat. A spinning MPI library looks 100% busy to the OS, which is
+// exactly why the cpuspeed daemon cannot find the slack (paper §4).
+func (s State) countsBusy() bool {
+	switch s {
+	case Idle, Blocked:
+		return false
+	default:
+		return true
+	}
+}
+
+// FreqChange records one DVS transition for the PowerPack logs.
+type FreqChange struct {
+	At   sim.Time
+	From dvfs.OperatingPoint
+	To   dvfs.OperatingPoint
+}
+
+// Node is one cluster node: a DVS-capable CPU plus memory, disk, NIC and
+// board power sinks, with exact per-component energy integration and
+// utilization accounting.
+type Node struct {
+	id  int
+	eng *sim.Engine
+	par Params
+	cpu power.CPUModel
+
+	opIdx     int
+	state     State
+	stateSeq  uint64 // bumped on every state change; guards async restores
+	lastFlush sim.Time
+
+	nicActive bool // NIC transferring: adds NICActive watts
+
+	integ [power.NumComponents]power.Integrator // indexed by power.Component
+
+	busy, idle sim.Duration
+	stateTime  [numStates]sim.Duration
+
+	transitions int
+	freqLog     []FreqChange
+}
+
+// NewNode builds a node with the given id running at the highest
+// operating point, idle.
+func NewNode(eng *sim.Engine, id int, par Params) *Node {
+	n := &Node{
+		id:  id,
+		eng: eng,
+		par: par,
+		cpu: par.CPUModel(),
+	}
+	n.lastFlush = eng.Now()
+	n.applyPower()
+	return n
+}
+
+// ID returns the node's index in the cluster.
+func (n *Node) ID() int { return n.id }
+
+// Params returns the node's model parameters.
+func (n *Node) Params() Params { return n.par }
+
+// Engine returns the simulation engine the node lives on.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// OperatingPoint returns the current DVS setting.
+func (n *Node) OperatingPoint() dvfs.OperatingPoint { return n.par.Table.At(n.opIdx) }
+
+// OPIndex returns the index of the current operating point in the table
+// (0 = fastest).
+func (n *Node) OPIndex() int { return n.opIdx }
+
+// State returns the current activity state.
+func (n *Node) State() State { return n.state }
+
+// activity maps the current state to a CPU activity factor.
+func (n *Node) activity() float64 {
+	switch n.state {
+	case Compute, Switching:
+		return n.par.ActivityCompute
+	case MemoryStall:
+		return n.par.ActivityMemory
+	case Copy:
+		return n.par.ActivityCopy
+	case Spin:
+		return n.par.ActivitySpin
+	case Blocked:
+		return n.par.ActivityBlocked
+	default:
+		return n.par.CPUIdleActivity
+	}
+}
+
+// applyPower refreshes every component integrator at the current time.
+func (n *Node) applyPower() {
+	now := n.eng.Now()
+	op := n.par.Table.At(n.opIdx)
+	n.integ[power.CPU].SetPower(now, n.cpu.Power(op, n.activity()))
+	memW := n.par.MemoryIdle
+	if n.state == MemoryStall || n.state == Copy {
+		memW += n.par.MemoryActive
+	}
+	n.integ[power.Memory].SetPower(now, memW)
+	n.integ[power.Disk].SetPower(now, n.par.DiskIdle)
+	nicW := n.par.NICIdle
+	if n.nicActive {
+		nicW += n.par.NICActive
+	}
+	n.integ[power.NIC].SetPower(now, nicW)
+	n.integ[power.Board].SetPower(now, n.par.BoardIdle)
+}
+
+// flushTime books the elapsed interval into the utilization and
+// per-state counters.
+func (n *Node) flushTime() {
+	now := n.eng.Now()
+	d := now.Sub(n.lastFlush)
+	if d > 0 {
+		n.stateTime[n.state] += d
+		if n.state.countsBusy() {
+			n.busy += d
+		} else {
+			n.idle += d
+		}
+	}
+	n.lastFlush = now
+}
+
+// SetState switches the node's activity state at the current time. It
+// is safe to call from process bodies and from event callbacks (the MPI
+// layer uses the latter to downgrade a long spin to a blocked wait).
+func (n *Node) SetState(s State) {
+	if s == n.state {
+		return
+	}
+	n.flushTime()
+	n.state = s
+	n.stateSeq++
+	n.applyPower()
+}
+
+// StateToken captures the current state-change sequence number. Paired
+// with RestoreState it lets asynchronous actors (governor daemons, the
+// MPI progress engine) change the state later only if nothing else
+// intervened.
+func (n *Node) StateToken() uint64 { return n.stateSeq }
+
+// RestoreState sets the state to s only if no state change happened
+// since the token was taken, and reports whether it applied.
+func (n *Node) RestoreState(token uint64, s State) bool {
+	if n.stateSeq == token {
+		n.SetState(s)
+		return true
+	}
+	return false
+}
+
+// SetNICActive marks the NIC as transferring (or not), adjusting its
+// power draw.
+func (n *Node) SetNICActive(active bool) {
+	if n.nicActive == active {
+		return
+	}
+	n.flushTime() // keep counters aligned with power segments
+	n.nicActive = active
+	n.applyPower()
+}
+
+// coreDuration converts core-clocked cycles at the current operating
+// point into time, including the small bus-ratio stall penalty.
+func (n *Node) coreDuration(cycles float64) sim.Duration {
+	if cycles <= 0 {
+		return 0
+	}
+	op := n.par.Table.At(n.opIdx)
+	fmax := float64(n.par.Table.Highest().Freq)
+	f := float64(op.Freq)
+	penalty := 1 + n.par.StallPenalty*(fmax/f-1)
+	return sim.DurationOf(cycles / f * penalty)
+}
+
+// Compute runs cycles of core-clocked work: the node is in the Compute
+// state for cycles/f (plus the stall penalty) and then returns to Idle.
+func (n *Node) Compute(p *sim.Proc, cycles float64) {
+	n.inState(p, Compute, n.coreDuration(cycles))
+}
+
+// ComputeFlops is Compute with work expressed in floating-point
+// operations, converted via the sustained FlopsPerCycle rate.
+func (n *Node) ComputeFlops(p *sim.Proc, flops float64) {
+	n.Compute(p, flops/n.par.FlopsPerCycle)
+}
+
+// MemoryRounds performs accesses DRAM round trips: each pays the fixed
+// DRAM latency plus a small core-clocked overhead, so the total time is
+// only weakly frequency dependent — the slack DVS exploits (Fig. 6).
+func (n *Node) MemoryRounds(p *sim.Proc, accesses int64) {
+	if accesses <= 0 {
+		return
+	}
+	core := n.coreDuration(float64(accesses) * n.par.MemCyclesPerAccess)
+	total := core + sim.Duration(accesses)*n.par.MemLatency
+	n.inState(p, MemoryStall, total)
+}
+
+// L2Rounds performs accesses L2-cache round trips. The L2 is on-die and
+// core-clocked, so this is CPU-bound work (Fig. 7).
+func (n *Node) L2Rounds(p *sim.Proc, accesses int64) {
+	if accesses <= 0 {
+		return
+	}
+	n.inState(p, Compute, n.coreDuration(float64(accesses)*n.par.L2CyclesPerAccess))
+}
+
+// CopyBytes models an MPI buffer copy of size bytes: memory-bound
+// store-heavy work at roughly one access per cache line.
+func (n *Node) CopyBytes(p *sim.Proc, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	const lineBytes = 64
+	lines := (bytes + lineBytes - 1) / lineBytes
+	// Copies stream through caches with hardware prefetch: cheaper per
+	// line than dependent-load MemoryRounds by roughly 4x.
+	core := n.coreDuration(float64(lines) * n.par.MemCyclesPerAccess)
+	total := core + sim.Duration(lines)*n.par.MemLatency/4
+	n.inState(p, Copy, total)
+}
+
+// CopyCycles runs core-clocked work in the Copy state; the MPI layer
+// uses it for buffer copies and checksumming whose cost it expresses in
+// cycles directly.
+func (n *Node) CopyCycles(p *sim.Proc, cycles float64) {
+	n.inState(p, Copy, n.coreDuration(cycles))
+}
+
+// IdleFor parks the node idle for d.
+func (n *Node) IdleFor(p *sim.Proc, d sim.Duration) {
+	n.inState(p, Idle, d)
+}
+
+// inState runs the process through a timed segment in state s, then
+// returns the node to Idle (unless something else changed the state
+// during the segment, e.g. a concurrent helper process).
+func (n *Node) inState(p *sim.Proc, s State, d sim.Duration) {
+	n.SetState(s)
+	token := n.StateToken()
+	p.Sleep(d)
+	n.RestoreState(token, Idle)
+}
+
+// SetOperatingPointIndex moves the CPU to the operating point at index
+// idx, stalling the caller for the transition latency and booking the
+// transition energy. Work segments already in flight keep the duration
+// computed at their start; the new frequency applies from the next
+// segment (the model's granularity of error is one work segment).
+func (n *Node) SetOperatingPointIndex(p *sim.Proc, idx int) {
+	if idx == n.opIdx {
+		return
+	}
+	n.checkIdx(idx)
+	prev := n.state
+	n.SetState(Switching)
+	token := n.StateToken()
+	p.Sleep(n.par.Transition.Latency)
+	n.commitOP(idx)
+	n.RestoreState(token, prev)
+}
+
+// SetOperatingPointIndexAsync performs the transition from event context
+// (used by governor daemons driven by timers): the stall is modeled by
+// the Switching state lasting the transition latency, after which the
+// previous state is restored unless the workload changed state meanwhile.
+func (n *Node) SetOperatingPointIndexAsync(idx int) {
+	if idx == n.opIdx {
+		return
+	}
+	n.checkIdx(idx)
+	prev := n.state
+	n.SetState(Switching)
+	token := n.StateToken()
+	n.commitOP(idx)
+	n.eng.After(n.par.Transition.Latency, func() {
+		n.RestoreState(token, prev)
+	})
+}
+
+func (n *Node) checkIdx(idx int) {
+	if idx < 0 || idx >= n.par.Table.Len() {
+		panic(fmt.Sprintf("machine: operating point index %d out of range", idx))
+	}
+}
+
+func (n *Node) commitOP(idx int) {
+	from := n.par.Table.At(n.opIdx)
+	to := n.par.Table.At(idx)
+	n.opIdx = idx
+	n.transitions++
+	n.freqLog = append(n.freqLog, FreqChange{At: n.eng.Now(), From: from, To: to})
+	n.integ[power.CPU].AddEnergy(power.Joules(n.par.Transition.Energy))
+	n.applyPower()
+}
+
+// SetFrequency moves to the table point closest to freq (blocking form).
+func (n *Node) SetFrequency(p *sim.Proc, freq dvfs.Hz) {
+	n.SetOperatingPointIndex(p, n.par.Table.IndexOf(n.par.Table.ClosestTo(freq).Freq))
+}
+
+// Transitions reports how many DVS switches the node has performed.
+func (n *Node) Transitions() int { return n.transitions }
+
+// FreqLog returns the recorded DVS transitions.
+func (n *Node) FreqLog() []FreqChange { return n.freqLog }
+
+// Utilization returns the cumulative busy and idle time as the OS would
+// report them in /proc/stat, up to the current instant.
+func (n *Node) Utilization() (busy, idle sim.Duration) {
+	d := n.eng.Now().Sub(n.lastFlush)
+	busy, idle = n.busy, n.idle
+	if d > 0 {
+		if n.state.countsBusy() {
+			busy += d
+		} else {
+			idle += d
+		}
+	}
+	return busy, idle
+}
+
+// StateTime reports the cumulative time spent in state s.
+func (n *Node) StateTime(s State) sim.Duration {
+	t := n.stateTime[s]
+	if n.state == s {
+		t += n.eng.Now().Sub(n.lastFlush)
+	}
+	return t
+}
+
+// EnergyAt returns the node's total energy consumed through time t,
+// summed over all components.
+func (n *Node) EnergyAt(t sim.Time) power.Joules {
+	var sum power.Joules
+	for _, c := range power.Components() {
+		sum += n.integ[c].EnergyAt(t)
+	}
+	return sum
+}
+
+// ComponentEnergyAt returns the energy consumed by one component
+// through time t.
+func (n *Node) ComponentEnergyAt(c power.Component, t sim.Time) power.Joules {
+	return n.integ[c].EnergyAt(t)
+}
+
+// Power returns the node's instantaneous total draw.
+func (n *Node) Power() power.Watts {
+	var sum power.Watts
+	for _, c := range power.Components() {
+		sum += n.integ[c].Power()
+	}
+	return sum
+}
+
+// ComponentPower returns one component's instantaneous draw.
+func (n *Node) ComponentPower(c power.Component) power.Watts {
+	return n.integ[c].Power()
+}

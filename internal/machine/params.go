@@ -1,0 +1,174 @@
+// Package machine models one node of the paper's cluster: a Dell
+// Inspiron 8600 laptop with a 1.4 GHz Pentium M (five SpeedStep
+// operating points), 32 KB L1 / 1 MB on-die L2, 1 GB DDR SDRAM, and a
+// 100 Mb NIC. The model is a cost model (how long work takes at each
+// frequency) coupled to a power model (what each activity draws at each
+// operating point), with utilization accounting compatible with what the
+// Linux cpuspeed daemon reads from /proc/stat.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Params collects every calibrated constant of the node model. Each
+// value is tied to a datum from the paper or the platform's datasheet;
+// the package-level shape tests in internal/cluster assert that the
+// combination reproduces the paper's observed behaviour.
+type Params struct {
+	// Table holds the SpeedStep operating points (paper Table 2).
+	Table dvfs.Table
+	// Transition is the cost of a DVS switch (~10 µs stall).
+	Transition dvfs.Transition
+
+	// CPUDynAtTop is full-activity dynamic CPU power at the highest
+	// operating point. The Pentium M 1.4 "Banias" TDP is 22 W.
+	CPUDynAtTop power.Watts
+	// CPULeakPerV2 is the leakage coefficient (W/V²).
+	CPULeakPerV2 float64
+	// CPUIdleActivity is the dynamic-activity floor of a halted core.
+	CPUIdleActivity float64
+
+	// Activity factors by node state: the fraction of peak switching
+	// activity the core sustains. Compute is by definition 1.0;
+	// MemoryStall ~0.5 reproduces the paper's Fig. 6 energy crescendo
+	// (59.3% at 600 MHz); Spin ~0.27 reproduces Fig. 8's communication
+	// crescendos (−30% to −36%); Blocked ~0.10 is a core parked in the
+	// kernel, and reproduces the shallower savings of workloads that
+	// wait out long transfers (parallel transpose, Fig. 5).
+	ActivityCompute float64
+	ActivityMemory  float64
+	ActivitySpin    float64
+	ActivityBlocked float64
+	// ActivityCopy is the activity of MPI buffer copies (memcpy-like:
+	// memory-bound but store-heavy).
+	ActivityCopy float64
+
+	// StallPenalty inflates core-clocked work at reduced frequency by
+	// (1 + StallPenalty·(fmax/f − 1)): bus-ratio changes cost a little
+	// extra beyond pure clock scaling, which is why the paper measures
+	// a 134% slowdown at 600 MHz where pure 1/f predicts 133%.
+	StallPenalty float64
+
+	// MemLatency is the DRAM access latency; the paper quotes 110 ns.
+	MemLatency sim.Duration
+	// MemCyclesPerAccess is the core-clocked overhead accompanying each
+	// DRAM access (address generation, fill handling). Together with
+	// MemLatency it sets the memory benchmark's 5.4% slowdown span.
+	MemCyclesPerAccess float64
+	// L2CyclesPerAccess is the core-clocked cost of an on-die L2 hit.
+	L2CyclesPerAccess float64
+	// FlopsPerCycle converts workload flop counts into core cycles
+	// (sustained, not peak, rate for SSE2-era codes).
+	FlopsPerCycle float64
+
+	// Non-CPU component budget (watts): constant idle draw and active
+	// increments. The sum of idle draws (~8.6 W) is the "rest of the
+	// laptop" with the panel off, and its relative size against CPU
+	// power locates the Fig. 7 energy minimum at 800 MHz.
+	BoardIdle    power.Watts
+	MemoryIdle   power.Watts
+	MemoryActive power.Watts
+	DiskIdle     power.Watts
+	NICIdle      power.Watts
+	NICActive    power.Watts
+}
+
+// DefaultParams returns the calibrated Inspiron 8600 model used for all
+// paper reproductions.
+func DefaultParams() Params {
+	return Params{
+		Table:      dvfs.PentiumM14(),
+		Transition: dvfs.PentiumMTransition(),
+
+		CPUDynAtTop:     22.0,
+		CPULeakPerV2:    0.5,
+		CPUIdleActivity: 0.08,
+
+		ActivityCompute: 1.0,
+		ActivityMemory:  0.50,
+		ActivitySpin:    0.27,
+		ActivityBlocked: 0.10,
+		ActivityCopy:    0.80,
+
+		StallPenalty: 0.004,
+
+		MemLatency:         110 * sim.Nanosecond,
+		MemCyclesPerAccess: 6.5,
+		L2CyclesPerAccess:  10,
+		FlopsPerCycle:      1.0,
+
+		BoardIdle:    5.1,
+		MemoryIdle:   1.8,
+		MemoryActive: 1.5,
+		DiskIdle:     1.2,
+		NICIdle:      0.5,
+		NICActive:    0.6,
+	}
+}
+
+// CPUModel builds the power.CPUModel for these parameters.
+func (p Params) CPUModel() power.CPUModel {
+	return power.NewCPUModel(p.Table, p.CPUDynAtTop, p.CPULeakPerV2, p.CPUIdleActivity)
+}
+
+// NonCPUIdle returns the summed idle draw of all non-CPU components.
+func (p Params) NonCPUIdle() power.Watts {
+	return p.BoardIdle + p.MemoryIdle + p.DiskIdle + p.NICIdle
+}
+
+// LowPowerParams models a node of the "low power" school the paper
+// contrasts with power-aware DVS (Section 5: Green Destiny's Transmeta
+// blades, Argus, BlueGene/L): a fixed-frequency ~667 MHz core drawing a
+// few watts, with a lean blade power budget and no DVS headroom. Used
+// to reproduce the paper's argument that the low-power approach caps
+// performance where the power-aware approach keeps it available.
+func LowPowerParams() Params {
+	p := DefaultParams()
+	p.Table = dvfs.NewTable([]dvfs.OperatingPoint{
+		{Freq: 667 * dvfs.MHz, Voltage: 1.2},
+	})
+	p.CPUDynAtTop = 5.5 // W at 667 MHz: Crusoe-class core
+	p.CPULeakPerV2 = 0.3
+	// Blade chassis: shared fans and supplies, flash instead of disk.
+	p.BoardIdle = 2.8
+	p.MemoryIdle = 1.2
+	p.DiskIdle = 0.4
+	p.NICIdle = 0.4
+	return p
+}
+
+// Validate reports the first problem with the parameters, or nil. The
+// cluster runner validates its machine model up front so a bad custom
+// platform fails loudly rather than producing nonsense joules.
+func (p Params) Validate() error {
+	switch {
+	case p.Table.Len() == 0:
+		return fmt.Errorf("machine: empty operating-point table")
+	case p.CPUDynAtTop <= 0:
+		return fmt.Errorf("machine: non-positive CPU dynamic power")
+	case p.CPULeakPerV2 < 0:
+		return fmt.Errorf("machine: negative leakage coefficient")
+	case p.CPUIdleActivity < 0 || p.CPUIdleActivity > 1:
+		return fmt.Errorf("machine: idle activity %v outside [0,1]", p.CPUIdleActivity)
+	case p.ActivityCompute <= 0 || p.ActivityCompute > 1:
+		return fmt.Errorf("machine: compute activity %v outside (0,1]", p.ActivityCompute)
+	case p.MemLatency <= 0:
+		return fmt.Errorf("machine: non-positive memory latency")
+	case p.MemCyclesPerAccess < 0 || p.L2CyclesPerAccess <= 0:
+		return fmt.Errorf("machine: invalid per-access cycle costs")
+	case p.FlopsPerCycle <= 0:
+		return fmt.Errorf("machine: non-positive flops per cycle")
+	case p.Transition.Latency < 0 || p.Transition.Energy < 0:
+		return fmt.Errorf("machine: negative transition cost")
+	case p.BoardIdle < 0 || p.MemoryIdle < 0 || p.DiskIdle < 0 || p.NICIdle < 0:
+		return fmt.Errorf("machine: negative component idle power")
+	case p.MemoryActive < 0 || p.NICActive < 0:
+		return fmt.Errorf("machine: negative component active power")
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package mpi
+
+// Collective operations, implemented over the point-to-point layer with
+// the classic MPICH algorithms: dissemination barrier, binomial
+// broadcast and reduction, pairwise-exchange all-to-all, and linear
+// gather/scatter rooted at a single process.
+//
+// Each algorithm is written once against a group view — a rank's
+// position within an ordered set of world ranks plus a private tag
+// space — so the world communicator and sub-communicators (Comm) share
+// the same implementations. Collective traffic uses a reserved tag
+// space derived from a per-group call sequence number; SPMD programs
+// call collectives in the same order on every member, so the sequence
+// numbers agree.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Reserved tag-space layout (all at or above collectiveTagBase, which
+// user tags must stay below):
+//
+//	collectiveTagBase + slot*commTagStride + seq*64 + phase
+//
+// slot 0 is the world communicator; sub-communicators get slots 1+.
+const (
+	collectiveTagBase = 1 << 30
+	commTagStride     = 1 << 24
+	maxCommSlots      = 63 // (2^30 of headroom) / stride, minus the world
+)
+
+// view adapts the collective algorithms to a rank group: the world
+// (identity mapping, slot 0) or a sub-communicator.
+type view struct {
+	r     *Rank
+	size  int
+	me    int       // position within the group
+	ranks []int     // group position → world rank (nil = identity)
+	slot  int       // tag-space slot
+	seq   *int      // per-group collective sequence
+	p     *sim.Proc // the calling process
+}
+
+func (v view) world(pos int) int {
+	if v.ranks == nil {
+		return pos
+	}
+	return v.ranks[pos]
+}
+
+func (v view) begin() { *v.seq++ }
+
+func (v view) tag(phase int) int {
+	return collectiveTagBase + v.slot*commTagStride + *v.seq*64 + phase
+}
+
+func (v view) send(pos, tag int, size int64, payload any) {
+	v.r.send(v.p, v.world(pos), tag, size, payload)
+}
+
+func (v view) isend(pos, tag int, size int64, payload any) *Request {
+	return v.r.isend(v.p, v.world(pos), tag, size, payload)
+}
+
+func (v view) recv(pos, tag int) *Message {
+	return v.r.recvColl(v.p, v.world(pos), tag)
+}
+
+func (v view) wait(q *Request) { v.r.Wait(v.p, q) }
+
+// worldView is the whole-world group for this rank.
+func (r *Rank) worldView(p *sim.Proc) view {
+	return view{r: r, size: len(r.w.ranks), me: r.id, slot: 0, seq: &r.collSeq, p: p}
+}
+
+// recvColl is Recv for the reserved tag space.
+func (r *Rank) recvColl(p *sim.Proc, src, tag int) *Message {
+	r.overhead(p, r.w.cfg.RecvOverheadCycles)
+	m := r.matchOrWait(p, src, tag)
+	return r.completeRecv(p, m)
+}
+
+// checkPos validates a group position.
+func (v view) checkPos(pos int) {
+	if pos < 0 || pos >= v.size {
+		panic(fmt.Sprintf("mpi: group position %d out of range [0,%d)", pos, v.size))
+	}
+}
+
+// --- Algorithm bodies (shared by world and sub-communicators) --------
+
+// barrierV: dissemination barrier, ceil(log2 P) rounds.
+func barrierV(v view) {
+	v.begin()
+	if v.size == 1 {
+		return
+	}
+	phase := 0
+	for dist := 1; dist < v.size; dist <<= 1 {
+		to := (v.me + dist) % v.size
+		from := (v.me - dist + v.size) % v.size
+		tag := v.tag(phase)
+		sq := v.isend(to, tag, 8, nil)
+		v.recv(from, tag)
+		v.wait(sq)
+		phase++
+	}
+}
+
+// bcastV: binomial tree from root.
+func bcastV(v view, root int, size int64, payload any) any {
+	v.begin()
+	v.checkPos(root)
+	n := v.size
+	if n == 1 {
+		return payload
+	}
+	tag := v.tag(0)
+	rel := (v.me - root + n) % n
+
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := v.me - mask
+			if src < 0 {
+				src += n
+			}
+			m := v.recv(src, tag)
+			payload = m.Payload
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := v.me + mask
+			if dst >= n {
+				dst -= n
+			}
+			v.send(dst, tag, size, payload)
+		}
+		mask >>= 1
+	}
+	return payload
+}
+
+// reduceV: binomial reduction to root.
+func reduceV(v view, root int, size int64, payload any, combine func(a, b any) any) any {
+	v.begin()
+	v.checkPos(root)
+	n := v.size
+	if n == 1 {
+		return payload
+	}
+	tag := v.tag(0)
+	rel := (v.me - root + n) % n
+	acc := payload
+
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < n {
+				src := (srcRel + root) % n
+				m := v.recv(src, tag)
+				v.r.node.ComputeFlops(v.p, float64(size)*v.r.w.cfg.ReduceFlopsPerByte)
+				if combine != nil {
+					acc = combine(acc, m.Payload)
+				}
+			}
+		} else {
+			dst := (rel&^mask + root) % n
+			v.send(dst, tag, size, acc)
+			break
+		}
+		mask <<= 1
+	}
+	if v.me == root {
+		return acc
+	}
+	return nil
+}
+
+// alltoallV: pairwise exchange, P-1 rounds; sizes[pos] to each peer.
+func alltoallV(v view, sizes func(pos int) int64) {
+	v.begin()
+	n := v.size
+	for i := 1; i < n; i++ {
+		dst := (v.me + i) % n
+		src := (v.me - i + n) % n
+		tag := v.tag(i)
+		sq := v.isend(dst, tag, sizes(dst), nil)
+		v.recv(src, tag)
+		v.wait(sq)
+	}
+}
+
+// gatherV: linear gather to root, group-position order.
+func gatherV(v view, root int, sizes func(pos int) int64, payload any) []any {
+	v.begin()
+	v.checkPos(root)
+	n := v.size
+	tag := v.tag(0)
+	if v.me != root {
+		v.send(root, tag, sizes(v.me), payload)
+		return nil
+	}
+	out := make([]any, n)
+	out[v.me] = payload
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		m := v.recv(i, tag)
+		out[i] = m.Payload
+	}
+	return out
+}
+
+// scatterV: linear scatter from root.
+func scatterV(v view, root int, sizes func(pos int) int64, payloads []any) any {
+	v.begin()
+	v.checkPos(root)
+	n := v.size
+	tag := v.tag(0)
+	if v.me == root {
+		if payloads != nil && len(payloads) != n {
+			panic("mpi: scatter payloads length mismatch")
+		}
+		for i := 0; i < n; i++ {
+			if i == root {
+				continue
+			}
+			var pl any
+			if payloads != nil {
+				pl = payloads[i]
+			}
+			v.send(i, tag, sizes(i), pl)
+		}
+		if payloads != nil {
+			return payloads[root]
+		}
+		return nil
+	}
+	m := v.recv(root, tag)
+	return m.Payload
+}
+
+// allgatherV: ring, P-1 steps.
+func allgatherV(v view, size int64) {
+	v.begin()
+	n := v.size
+	next := (v.me + 1) % n
+	prev := (v.me - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		tag := v.tag(step)
+		sq := v.isend(next, tag, size, nil)
+		v.recv(prev, tag)
+		v.wait(sq)
+	}
+}
+
+// --- World-communicator methods ---------------------------------------
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier(p *sim.Proc) { barrierV(r.worldView(p)) }
+
+// Bcast distributes size bytes from root to every rank (binomial tree).
+// It returns the payload as seen at this rank.
+func (r *Rank) Bcast(p *sim.Proc, root int, size int64, payload any) any {
+	return bcastV(r.worldView(p), root, size, payload)
+}
+
+// Reduce combines size bytes from every rank at root (binomial tree).
+// combine, if non-nil, folds payloads pairwise; the CPU cost of each
+// combine step is charged from the configured flops-per-byte rate.
+func (r *Rank) Reduce(p *sim.Proc, root int, size int64, payload any, combine func(a, b any) any) any {
+	return reduceV(r.worldView(p), root, size, payload, combine)
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast, MPICH-1 style.
+func (r *Rank) Allreduce(p *sim.Proc, size int64, payload any, combine func(a, b any) any) any {
+	acc := r.Reduce(p, 0, size, payload, combine)
+	return r.Bcast(p, 0, size, acc)
+}
+
+// Alltoall exchanges bytesPerPeer with every other rank (pairwise
+// exchange: P-1 rounds of simultaneous send/receive). This is the
+// communication pattern of the NAS FT transpose.
+func (r *Rank) Alltoall(p *sim.Proc, bytesPerPeer int64) {
+	alltoallV(r.worldView(p), func(int) int64 { return bytesPerPeer })
+}
+
+// Alltoallv is Alltoall with per-destination sizes; sizes[i] is sent to
+// rank i (sizes[r.id] is ignored). Every rank must pass a consistent
+// matrix, i.e. what i sends to j is what j expects from i.
+func (r *Rank) Alltoallv(p *sim.Proc, sizes []int64) {
+	if len(sizes) != r.Size() {
+		panic("mpi: Alltoallv sizes length mismatch")
+	}
+	alltoallV(r.worldView(p), func(pos int) int64 { return sizes[pos] })
+}
+
+// Gather collects size bytes from every rank at root (linear: each
+// leaf sends directly; arrivals serialize on root's receive link —
+// the bottleneck the parallel transpose exhibits in step 3). It
+// returns, at root, the payloads indexed by rank.
+func (r *Rank) Gather(p *sim.Proc, root int, size int64, payload any) []any {
+	return gatherV(r.worldView(p), root, func(int) int64 { return size }, payload)
+}
+
+// Scatter distributes size bytes from root to each rank (linear) and
+// returns the payload for this rank. payloads is only read at root and
+// must have one entry per rank.
+func (r *Rank) Scatter(p *sim.Proc, root int, size int64, payloads []any) any {
+	if r.id == root && payloads == nil {
+		panic("mpi: Scatter needs payloads at root")
+	}
+	return scatterV(r.worldView(p), root, func(int) int64 { return size }, payloads)
+}
+
+// Allgather shares size bytes from every rank with every rank (ring:
+// P-1 steps, each forwarding the block received in the previous step).
+func (r *Rank) Allgather(p *sim.Proc, size int64) {
+	allgatherV(r.worldView(p), size)
+}

@@ -1,0 +1,363 @@
+// Package mpi is a message-passing runtime for the simulated cluster,
+// modeled on MPICH 1.2.5 over TCP (the paper's stack): an eager protocol
+// for small messages, a rendezvous protocol for large ones, busy-polling
+// progress (which is why MPI wait time looks like 100% CPU utilization
+// to the OS), and the standard binomial/pairwise collective algorithms.
+//
+// Every rank runs as a simulated process bound to one machine.Node; all
+// CPU costs of the library (per-message overhead, per-byte copies and
+// checksumming, spinning) are charged to that node so the power model
+// sees exactly what the workload does.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config holds the software cost model of the MPI library.
+type Config struct {
+	// EagerThreshold is the message size (bytes) up to which messages
+	// are sent eagerly (fire-and-forget into the receiver's buffer).
+	// Larger messages use the rendezvous protocol.
+	EagerThreshold int64
+	// SpinThreshold is how long a wait busy-polls before the library
+	// falls back to blocking in the kernel. MPICH 1.2.5's p4 device
+	// polls aggressively; waits shorter than this look 100% busy to
+	// the OS. Negative means spin forever.
+	SpinThreshold sim.Duration
+	// SendOverheadCycles and RecvOverheadCycles are the per-message
+	// software costs (matching, headers, syscalls) on each side.
+	SendOverheadCycles float64
+	RecvOverheadCycles float64
+	// PerByteCycles is the per-byte CPU cost on each side for
+	// rendezvous (large) messages: staging copies plus TCP
+	// checksumming. It is what makes communication time slightly
+	// frequency dependent (paper Fig. 8a: +6% at 600 MHz).
+	PerByteCycles float64
+	// PerByteCyclesEager is the per-byte cost for eager (small)
+	// messages, whose single copy stays cache-resident and is much
+	// cheaper (paper Fig. 8b: only +4% at 600 MHz).
+	PerByteCyclesEager float64
+	// ControlBytes is the wire size of RTS/CTS handshake messages.
+	ControlBytes int64
+	// ReduceFlopsPerByte converts reduction payload bytes into
+	// combine work (1 flop per 8-byte element by default).
+	ReduceFlopsPerByte float64
+}
+
+// DefaultConfig returns the calibrated MPICH-1.2.5-over-TCP cost model.
+func DefaultConfig() Config {
+	return Config{
+		EagerThreshold:     64 << 10,
+		SpinThreshold:      4 * sim.Second,
+		SendOverheadCycles: 25_000,
+		RecvOverheadCycles: 25_000,
+		PerByteCycles:      3.3,
+		PerByteCyclesEager: 1.8,
+		ControlBytes:       64,
+		ReduceFlopsPerByte: 0.125,
+	}
+}
+
+// World is a communicator spanning one rank per node.
+type World struct {
+	eng   *sim.Engine
+	sw    netsim.Fabric
+	cfg   Config
+	ranks []*Rank
+	nic   []int // active-transfer refcount per node
+
+	nextCommSlot int // next sub-communicator tag-space slot (1-based)
+}
+
+// NewWorld builds a world with one rank bound to each node. The fabric
+// must have at least as many ports as nodes (rank i uses port i).
+func NewWorld(eng *sim.Engine, nodes []*machine.Node, sw netsim.Fabric, cfg Config) *World {
+	if len(nodes) == 0 {
+		panic("mpi: empty world")
+	}
+	if sw.Ports() < len(nodes) {
+		panic(fmt.Sprintf("mpi: %d nodes but only %d switch ports", len(nodes), sw.Ports()))
+	}
+	w := &World{
+		eng:          eng,
+		sw:           sw,
+		cfg:          cfg,
+		nic:          make([]int, len(nodes)),
+		nextCommSlot: 1,
+	}
+	for i, n := range nodes {
+		w.ranks = append(w.ranks, &Rank{
+			w:          w,
+			id:         i,
+			node:       n,
+			rendezvous: make(map[int64]*sim.Cond),
+			dataWait:   make(map[int64]*sim.Cond),
+			sendSeq:    make(map[int]int64),
+			expectSeq:  make(map[int]int64),
+			stashed:    make(map[int]map[int64]*Message),
+		})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i's handle.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Config returns the library cost model.
+func (w *World) Config() Config { return w.cfg }
+
+// SpawnRanks starts body as the main program of every rank, SPMD-style,
+// and returns the spawned processes.
+func (w *World) SpawnRanks(body func(p *sim.Proc, r *Rank)) []*sim.Proc {
+	procs := make([]*sim.Proc, len(w.ranks))
+	for i, r := range w.ranks {
+		r := r
+		procs[i] = w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			body(p, r)
+		})
+	}
+	return procs
+}
+
+// nicWindow marks node's NIC active over [from, to] (refcounted, since
+// transfer windows from different messages overlap).
+func (w *World) nicWindow(node int, from, to sim.Time) {
+	if to <= from {
+		return
+	}
+	n := w.ranks[node].node
+	w.eng.Schedule(from, func() {
+		w.nic[node]++
+		n.SetNICActive(true)
+	})
+	w.eng.Schedule(to, func() {
+		w.nic[node]--
+		if w.nic[node] == 0 {
+			n.SetNICActive(false)
+		}
+	})
+}
+
+// Message is a delivered MPI message.
+type Message struct {
+	Src, Dst int
+	Tag      int
+	Size     int64
+	Payload  any
+
+	kind   msgKind
+	handle int64
+	seq    int64 // per-(src,dst) envelope sequence for non-overtaking
+}
+
+type msgKind int
+
+const (
+	kindEager msgKind = iota
+	kindRTS           // rendezvous request-to-send (carries envelope)
+	kindCTS           // rendezvous clear-to-send
+	kindRData         // rendezvous payload
+)
+
+// Stats aggregates a rank's traffic counters.
+type Stats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w    *World
+	id   int
+	node *machine.Node
+
+	posted     []*postedRecv
+	unexpected []*Message
+
+	nextHandle int64
+	rendezvous map[int64]*sim.Cond // sender side: waiting for CTS
+	dataWait   map[int64]*sim.Cond // receiver side: waiting for payload
+
+	// Non-overtaking machinery (MPI ordering semantics): envelopes from
+	// one sender carry a sequence number; a receiver only admits them
+	// to matching in order, stashing early arrivals. Without this, a
+	// latency-only RTS could overtake an eager message still
+	// serializing on the wire.
+	sendSeq   map[int]int64
+	expectSeq map[int]int64
+	stashed   map[int]map[int64]*Message
+
+	collSeq int // per-rank collective sequence (SPMD-aligned)
+
+	stats Stats
+}
+
+type postedRecv struct {
+	src, tag int
+	cond     *sim.Cond
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Node returns the machine this rank runs on.
+func (r *Rank) Node() *machine.Node { return r.node }
+
+// World returns the communicator.
+func (r *Rank) World() *World { return r.w }
+
+// Stats returns the rank's traffic counters.
+func (r *Rank) Stats() Stats { return r.stats }
+
+// matches reports whether a posted (src,tag) pattern accepts msg.
+// Only eager data and RTS envelopes participate in matching.
+func matches(src, tag int, m *Message) bool {
+	if m.kind != kindEager && m.kind != kindRTS {
+		return false
+	}
+	if src != AnySource && m.Src != src {
+		return false
+	}
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// deliver runs at the message's arrival time on the receiving rank.
+func (r *Rank) deliver(m *Message) {
+	switch m.kind {
+	case kindEager, kindRTS:
+		// Enforce per-sender envelope order: admit in sequence,
+		// stashing early arrivals until their predecessors land.
+		if m.seq != r.expectSeq[m.Src] {
+			st := r.stashed[m.Src]
+			if st == nil {
+				st = make(map[int64]*Message)
+				r.stashed[m.Src] = st
+			}
+			st[m.seq] = m
+			return
+		}
+		r.admit(m)
+		r.expectSeq[m.Src]++
+		for {
+			next, ok := r.stashed[m.Src][r.expectSeq[m.Src]]
+			if !ok {
+				break
+			}
+			delete(r.stashed[m.Src], r.expectSeq[m.Src])
+			r.admit(next)
+			r.expectSeq[m.Src]++
+		}
+	case kindCTS:
+		c, ok := r.rendezvous[m.handle]
+		if !ok {
+			panic(fmt.Sprintf("mpi: rank %d: CTS for unknown handle %d", r.id, m.handle))
+		}
+		delete(r.rendezvous, m.handle)
+		c.Signal(m)
+	case kindRData:
+		c, ok := r.dataWait[m.handle]
+		if !ok {
+			panic(fmt.Sprintf("mpi: rank %d: data for unknown handle %d", r.id, m.handle))
+		}
+		delete(r.dataWait, m.handle)
+		c.Signal(m)
+	}
+}
+
+// admit runs envelope matching for an in-order envelope.
+func (r *Rank) admit(m *Message) {
+	for i, pr := range r.posted {
+		if matches(pr.src, pr.tag, m) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			pr.cond.Signal(m)
+			return
+		}
+	}
+	r.unexpected = append(r.unexpected, m)
+}
+
+// transmit books wire bytes on the network for m and schedules its
+// delivery; it returns the delivery time. wire differs from m.Size for
+// rendezvous control messages, whose envelope describes a large payload
+// but whose own footprint is a small header. Control messages are too
+// small to bother marking NIC activity.
+func (r *Rank) transmit(m *Message, wire int64, markNIC bool) sim.Time {
+	start, deliverAt := r.w.sw.Transfer(m.Src, m.Dst, wire)
+	if markNIC {
+		ser := r.w.sw.SerializationTime(wire)
+		r.w.nicWindow(m.Src, start, start.Add(ser))
+		r.w.nicWindow(m.Dst, deliverAt-sim.Time(ser), deliverAt)
+	}
+	dst := r.w.ranks[m.Dst]
+	r.w.eng.Schedule(deliverAt, func() { dst.deliver(m) })
+	return deliverAt
+}
+
+// transmitControl sends a protocol control message on the priority path
+// (no link occupancy) and schedules its delivery.
+func (r *Rank) transmitControl(m *Message) sim.Time {
+	deliverAt := r.w.sw.Control(m.Src, m.Dst, r.w.cfg.ControlBytes)
+	dst := r.w.ranks[m.Dst]
+	r.w.eng.Schedule(deliverAt, func() { dst.deliver(m) })
+	return deliverAt
+}
+
+// waitOn parks the process on c with the library's spin-then-block
+// behaviour, leaving the node Idle afterwards and returning the value
+// the waker delivered.
+func (r *Rank) waitOn(p *sim.Proc, c *sim.Cond) any {
+	n := r.node
+	n.SetState(machine.Spin)
+	if thr := r.w.cfg.SpinThreshold; thr >= 0 {
+		token := n.StateToken()
+		r.w.eng.After(thr, func() {
+			// Still in the same uninterrupted spin: fall back to a
+			// blocking kernel wait (idle in /proc/stat).
+			n.RestoreState(token, machine.Blocked)
+		})
+	}
+	v := c.Wait(p)
+	n.SetState(machine.Idle)
+	return v
+}
+
+// byteWork charges the per-byte software cost (copies + checksums) for
+// a message of the given size, in the Copy activity state. Messages at
+// or below the eager threshold use the cheaper cache-resident rate.
+func (r *Rank) byteWork(p *sim.Proc, size int64) {
+	if size <= 0 {
+		return
+	}
+	rate := r.w.cfg.PerByteCycles
+	if size <= r.w.cfg.EagerThreshold {
+		rate = r.w.cfg.PerByteCyclesEager
+	}
+	r.node.CopyCycles(p, float64(size)*rate)
+}
+
+// overhead charges fixed per-message software cost.
+func (r *Rank) overhead(p *sim.Proc, cycles float64) {
+	r.node.Compute(p, cycles)
+}

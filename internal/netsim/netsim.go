@@ -1,0 +1,174 @@
+// Package netsim models the cluster interconnect: a non-blocking
+// store-and-forward Ethernet switch (the paper's Cisco Catalyst 2950)
+// with one full-duplex 100 Mb port per node.
+//
+// The model is message-granular rather than frame-granular: a transfer
+// occupies the sender's transmit link and the receiver's receive link
+// for its serialization time, pipelined through the switch with a fixed
+// cut-through latency. Per-link "next free" bookkeeping gives exact
+// first-come-first-served contention (fan-in to one receiver serializes
+// on its port, which is what makes the parallel-transpose gather a
+// bottleneck) without simulating millions of frames.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the interconnect fabric.
+type Config struct {
+	// BandwidthBytesPerSec is the effective per-direction link
+	// bandwidth after protocol overheads. Raw 100 Mb/s Ethernet under
+	// MPICH-over-TCP sustains roughly 9.5 MB/s.
+	BandwidthBytesPerSec float64
+	// Latency is the end-to-end message latency excluding
+	// serialization: switch cut-through plus wire plus interrupt
+	// plumbing.
+	Latency sim.Duration
+}
+
+// Default100Mb returns the calibrated model of the paper's fabric:
+// switched 100 Mb Ethernet under MPICH 1.2.5/TCP.
+func Default100Mb() Config {
+	return Config{
+		BandwidthBytesPerSec: 9.5e6,
+		Latency:              45 * sim.Microsecond,
+	}
+}
+
+// Switch is the interconnect instance. All methods must be called from
+// engine context (process bodies or event callbacks).
+type Switch struct {
+	eng    *sim.Engine
+	cfg    Config
+	txFree []sim.Time
+	rxFree []sim.Time
+
+	messages  int64
+	bytes     int64
+	portBytes []int64 // per source port
+}
+
+// New builds a switch with ports full-duplex ports.
+func New(eng *sim.Engine, ports int, cfg Config) *Switch {
+	if ports <= 0 {
+		panic(fmt.Sprintf("netsim: %d ports", ports))
+	}
+	if cfg.BandwidthBytesPerSec <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	if cfg.Latency < 0 {
+		panic("netsim: negative latency")
+	}
+	return &Switch{
+		eng:       eng,
+		cfg:       cfg,
+		txFree:    make([]sim.Time, ports),
+		rxFree:    make([]sim.Time, ports),
+		portBytes: make([]int64, ports),
+	}
+}
+
+// Ports returns the number of switch ports.
+func (s *Switch) Ports() int { return len(s.txFree) }
+
+// Config returns the fabric configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// SerializationTime returns how long size bytes occupy a link.
+func (s *Switch) SerializationTime(size int64) sim.Duration {
+	if size <= 0 {
+		return 0
+	}
+	return sim.DurationOf(float64(size) / s.cfg.BandwidthBytesPerSec)
+}
+
+// Transfer books a message of size bytes from port src to port dst
+// starting no earlier than now, and returns the interval it occupies:
+// start (when the first byte leaves the sender, i.e. when both links are
+// free) and deliver (when the last byte arrives at the receiver). The
+// caller schedules delivery; the switch only does the accounting.
+func (s *Switch) Transfer(src, dst int, size int64) (start, deliver sim.Time) {
+	if src == dst {
+		panic(fmt.Sprintf("netsim: self-transfer on port %d", src))
+	}
+	s.checkPort(src)
+	s.checkPort(dst)
+	now := s.eng.Now()
+	ser := s.SerializationTime(size)
+	lat := s.cfg.Latency
+
+	start = now
+	if s.txFree[src] > start {
+		start = s.txFree[src]
+	}
+	// The receive link is occupied [start+lat, start+lat+ser]; push the
+	// start until the pipelined copy fits behind earlier arrivals.
+	if rxEarliest := s.rxFree[dst] - sim.Time(lat); rxEarliest > start {
+		start = rxEarliest
+	}
+	s.txFree[src] = start.Add(ser)
+	deliver = start.Add(ser + lat)
+	s.rxFree[dst] = deliver
+
+	s.messages++
+	s.bytes += size
+	s.portBytes[src] += size
+	return start, deliver
+}
+
+// Control books a small protocol message (RTS/CTS handshakes, ACKs)
+// from src to dst without occupying the links: real stacks interleave
+// tiny control packets into bulk streams rather than queueing them
+// behind megabytes of data, so they see only serialization plus switch
+// latency. It returns the delivery time.
+func (s *Switch) Control(src, dst int, size int64) (deliver sim.Time) {
+	if src == dst {
+		panic(fmt.Sprintf("netsim: self-transfer on port %d", src))
+	}
+	s.checkPort(src)
+	s.checkPort(dst)
+	s.messages++
+	s.bytes += size
+	s.portBytes[src] += size
+	return s.eng.Now().Add(s.SerializationTime(size) + s.cfg.Latency)
+}
+
+// TxBusyUntil reports when the port's transmit link frees up.
+func (s *Switch) TxBusyUntil(port int) sim.Time {
+	s.checkPort(port)
+	return s.txFree[port]
+}
+
+// RxBusyUntil reports when the port's receive link frees up.
+func (s *Switch) RxBusyUntil(port int) sim.Time {
+	s.checkPort(port)
+	return s.rxFree[port]
+}
+
+// Stats reports the total messages and bytes transferred.
+func (s *Switch) Stats() (messages, bytes int64) { return s.messages, s.bytes }
+
+// PortBytes reports the bytes sent from port.
+func (s *Switch) PortBytes(port int) int64 {
+	s.checkPort(port)
+	return s.portBytes[port]
+}
+
+func (s *Switch) checkPort(p int) {
+	if p < 0 || p >= len(s.txFree) {
+		panic(fmt.Sprintf("netsim: port %d out of range [0,%d)", p, len(s.txFree)))
+	}
+}
+
+// Gigabit returns a switched gigabit Ethernet model (an interconnect
+// upgrade ablation: as the network gets faster, communication slack —
+// and with it DVS savings on comm-bound codes — shrinks).
+func Gigabit() Config {
+	return Config{
+		BandwidthBytesPerSec: 85e6,
+		Latency:              25 * sim.Microsecond,
+	}
+}

@@ -1,0 +1,206 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+	"repro/internal/sim"
+)
+
+func TestJoulesMilliwattHours(t *testing.T) {
+	if got := Joules(3.6).MilliwattHours(); got != 1 {
+		t.Fatalf("3.6J = %v mWh", got)
+	}
+	if got := JoulesFromMilliwattHours(1000); got != 3600 {
+		t.Fatalf("1000 mWh = %v J", got)
+	}
+	// Round trip.
+	if got := JoulesFromMilliwattHours(Joules(123.4).MilliwattHours()); math.Abs(float64(got)-123.4) > 1e-9 {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	want := map[Component]string{CPU: "cpu", Memory: "memory", Disk: "disk", NIC: "nic", Board: "board"}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d: got %q", int(c), c.String())
+		}
+	}
+	if len(Components()) != int(numComponents) {
+		t.Fatal("Components() incomplete")
+	}
+	if Component(99).String() != "component(99)" {
+		t.Error("unknown component formatting")
+	}
+}
+
+func TestCPUModelCalibration(t *testing.T) {
+	tab := dvfs.PentiumM14()
+	m := NewCPUModel(tab, 20.0, 0.5, 0.1)
+	// Full activity at the top point must reproduce the calibration power.
+	if got := m.Dynamic(tab.Highest(), 1.0); math.Abs(float64(got)-20.0) > 1e-9 {
+		t.Fatalf("dyn at top = %v", got)
+	}
+	// Dynamic power scales as f·V²: check the 600 MHz point's known ratio.
+	low := tab.Lowest()
+	top := tab.Highest()
+	wantRatio := (float64(low.Freq) * low.Voltage * low.Voltage) /
+		(float64(top.Freq) * top.Voltage * top.Voltage)
+	gotRatio := float64(m.Dynamic(low, 1.0)) / float64(m.Dynamic(top, 1.0))
+	if math.Abs(gotRatio-wantRatio) > 1e-12 {
+		t.Fatalf("ratio = %v want %v", gotRatio, wantRatio)
+	}
+	// The paper's motivation: P ∝ f³ roughly, so the 600 MHz point draws
+	// a small fraction of the 1.4 GHz point.
+	if gotRatio > 0.25 {
+		t.Fatalf("600MHz dynamic fraction %v too high", gotRatio)
+	}
+}
+
+func TestCPUModelActivityClamp(t *testing.T) {
+	tab := dvfs.PentiumM14()
+	m := NewCPUModel(tab, 20.0, 0.5, 0.1)
+	top := tab.Highest()
+	if m.Dynamic(top, -1) != m.Dynamic(top, 0.1) {
+		t.Error("activity below idle floor not clamped up")
+	}
+	if m.Dynamic(top, 2) != m.Dynamic(top, 1) {
+		t.Error("activity above 1 not clamped down")
+	}
+	if m.Dynamic(top, 0.05) != m.Dynamic(top, 0.1) {
+		t.Error("idle floor not applied")
+	}
+}
+
+func TestCPUModelLeakage(t *testing.T) {
+	tab := dvfs.PentiumM14()
+	m := NewCPUModel(tab, 20.0, 1.0, 0.1)
+	top, low := tab.Highest(), tab.Lowest()
+	if got := m.Leakage(top); math.Abs(float64(got)-1.484*1.484) > 1e-9 {
+		t.Fatalf("leak at top = %v", got)
+	}
+	if m.Leakage(low) >= m.Leakage(top) {
+		t.Fatal("leakage must fall with voltage")
+	}
+	if got, want := m.Power(top, 1.0), m.Dynamic(top, 1.0)+m.Leakage(top); got != want {
+		t.Fatalf("Power = %v want %v", got, want)
+	}
+}
+
+func TestIntegratorPiecewise(t *testing.T) {
+	var in Integrator
+	in.SetPower(0, 10)
+	in.SetPower(sim.Time(2*sim.Second), 20) // 10W for 2s = 20J
+	in.SetPower(sim.Time(3*sim.Second), 0)  // 20W for 1s = 20J
+	if got := in.EnergyAt(sim.Time(3 * sim.Second)); math.Abs(float64(got)-40) > 1e-9 {
+		t.Fatalf("energy = %v", got)
+	}
+	// Zero power afterwards adds nothing.
+	if got := in.EnergyAt(sim.Time(10 * sim.Second)); math.Abs(float64(got)-40) > 1e-9 {
+		t.Fatalf("energy = %v", got)
+	}
+}
+
+func TestIntegratorMidInterval(t *testing.T) {
+	var in Integrator
+	in.SetPower(0, 8)
+	// Query inside an open interval integrates the current power.
+	if got := in.EnergyAt(sim.Time(500 * sim.Millisecond)); math.Abs(float64(got)-4) > 1e-9 {
+		t.Fatalf("energy = %v", got)
+	}
+	// Query before the last set-point returns the total so far.
+	in.SetPower(sim.Time(sim.Second), 0)
+	if got := in.EnergyAt(0); math.Abs(float64(got)-8) > 1e-9 {
+		t.Fatalf("energy before last = %v", got)
+	}
+}
+
+func TestIntegratorAddEnergy(t *testing.T) {
+	var in Integrator
+	in.SetPower(0, 1)
+	in.AddEnergy(5)
+	if got := in.EnergyAt(sim.Time(sim.Second)); math.Abs(float64(got)-6) > 1e-9 {
+		t.Fatalf("energy = %v", got)
+	}
+}
+
+func TestIntegratorRegressionPanics(t *testing.T) {
+	var in Integrator
+	in.SetPower(sim.Time(100), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time regression")
+		}
+	}()
+	in.SetPower(sim.Time(50), 2)
+}
+
+func TestIntegratorSameTimeUpdate(t *testing.T) {
+	var in Integrator
+	in.SetPower(0, 10)
+	in.SetPower(0, 5) // replace power at the same instant: no energy yet
+	if got := in.EnergyAt(sim.Time(sim.Second)); math.Abs(float64(got)-5) > 1e-9 {
+		t.Fatalf("energy = %v", got)
+	}
+	if in.Power() != 5 {
+		t.Fatalf("power = %v", in.Power())
+	}
+}
+
+// Property: integrating a random step signal equals the sum of
+// rectangle areas computed independently.
+func TestIntegratorMatchesRectangles(t *testing.T) {
+	f := func(steps []uint16) bool {
+		if len(steps) > 40 {
+			steps = steps[:40]
+		}
+		var in Integrator
+		tNow := sim.Time(0)
+		in.SetPower(tNow, 0)
+		var want float64
+		prevPower := 0.0
+		prevT := tNow
+		for _, s := range steps {
+			dt := sim.Duration(s%1000+1) * sim.Millisecond
+			p := float64(s % 37)
+			tNow = tNow.Add(dt)
+			want += prevPower * tNow.Sub(prevT).Seconds()
+			in.SetPower(tNow, Watts(p))
+			prevPower, prevT = p, tNow
+		}
+		final := tNow.Add(sim.Second)
+		want += prevPower * 1.0
+		got := float64(in.EnergyAt(final))
+		return math.Abs(got-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CPU power is monotone in activity and in operating point.
+func TestCPUPowerMonotoneProperty(t *testing.T) {
+	tab := dvfs.PentiumM14()
+	m := NewCPUModel(tab, 21.0, 0.5, 0.08)
+	f := func(rawA uint8, idx uint8) bool {
+		a := float64(rawA) / 255
+		i := int(idx) % tab.Len()
+		p := m.Power(tab.At(i), a)
+		if p <= 0 {
+			return false
+		}
+		if a < 1 && m.Power(tab.At(i), a+0.001) < p {
+			return false
+		}
+		if i+1 < tab.Len() && m.Power(tab.At(i+1), a) > p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

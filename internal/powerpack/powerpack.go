@@ -1,0 +1,283 @@
+// Package powerpack reproduces the paper's PowerPack software suite:
+// portable libraries for timestamp-driven coordination of power
+// measurement and DVS control at application level, plus the tooling
+// that filters and aligns per-node data sets for analysis.
+//
+// Applications mark regions of interest (EnterRegion/ExitRegion around
+// functions like NAS FT's fft()); the markers record per-region time and
+// energy, and — under a dynamic DVS strategy — drive frequency changes
+// at region boundaries exactly the way the paper inserts PowerPack
+// library calls before and after slack-heavy functions.
+package powerpack
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// RegionPolicy is the hook a DVS strategy installs to react to region
+// boundaries. A nil policy means markers only profile.
+type RegionPolicy interface {
+	// OnEnter runs in the application's process when it enters a
+	// marked region.
+	OnEnter(p *sim.Proc, n *machine.Node, region string)
+	// OnExit runs when the application leaves the region.
+	OnExit(p *sim.Proc, n *machine.Node, region string)
+}
+
+// EventKind classifies profiler log entries.
+type EventKind int
+
+// Profiler event kinds.
+const (
+	EventEnter EventKind = iota
+	EventExit
+	EventMark
+	EventFreq
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventEnter:
+		return "enter"
+	case EventExit:
+		return "exit"
+	case EventMark:
+		return "mark"
+	case EventFreq:
+		return "freq"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one timestamped profiler record from one node.
+type Event struct {
+	Node   int
+	At     sim.Time
+	Kind   EventKind
+	Label  string
+	Energy power.Joules // node cumulative energy at the event
+	seq    uint64
+}
+
+// RegionProfile accumulates time and energy for one marked region on
+// one node.
+type RegionProfile struct {
+	Region string
+	Node   int
+	Count  int
+	Time   sim.Duration
+	Energy power.Joules
+}
+
+// Profiler is the cluster-wide collection point. Per-node contexts
+// append to it; analysis methods filter and align.
+type Profiler struct {
+	events []Event
+	seq    uint64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+func (pr *Profiler) record(ev Event) {
+	pr.seq++
+	ev.seq = pr.seq
+	pr.events = append(pr.events, ev)
+}
+
+// Events returns every recorded event in recording order.
+func (pr *Profiler) Events() []Event {
+	out := make([]Event, len(pr.events))
+	copy(out, pr.events)
+	return out
+}
+
+// Timeline returns all events aligned on the global clock: sorted by
+// time, ties broken by recording order. This is the "filter and align
+// data sets from individual nodes" step of the paper's tool chain.
+func (pr *Profiler) Timeline() []Event {
+	out := pr.Events()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// NodeEvents filters the timeline to one node.
+func (pr *Profiler) NodeEvents(node int) []Event {
+	var out []Event
+	for _, ev := range pr.Timeline() {
+		if ev.Node == node {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// NodeCtx is the per-node PowerPack library handle an application links
+// against: markers, direct DVS control, and the policy hook.
+type NodeCtx struct {
+	node   *machine.Node
+	prof   *Profiler
+	policy RegionPolicy
+
+	stack    []regionFrame
+	profiles map[string]*RegionProfile
+}
+
+type regionFrame struct {
+	name    string
+	started sim.Time
+	energy  power.Joules
+}
+
+// NewNodeCtx binds a node to the profiler under the given policy
+// (nil = profile only).
+func NewNodeCtx(node *machine.Node, prof *Profiler, policy RegionPolicy) *NodeCtx {
+	return &NodeCtx{
+		node:     node,
+		prof:     prof,
+		policy:   policy,
+		profiles: make(map[string]*RegionProfile),
+	}
+}
+
+// Node returns the underlying machine.
+func (c *NodeCtx) Node() *machine.Node { return c.node }
+
+// EnterRegion marks the start of a named region: it logs a timestamped
+// event and lets the installed DVS policy act (e.g. drop to the lowest
+// operating point).
+func (c *NodeCtx) EnterRegion(p *sim.Proc, name string) {
+	now := c.node.Engine().Now()
+	c.prof.record(Event{Node: c.node.ID(), At: now, Kind: EventEnter, Label: name, Energy: c.node.EnergyAt(now)})
+	if c.policy != nil {
+		c.policy.OnEnter(p, c.node, name)
+	}
+	// Push after the policy acted so the frame's baseline includes the
+	// transition cost inside the region (as the paper's overhead
+	// discussion does).
+	now = c.node.Engine().Now()
+	c.stack = append(c.stack, regionFrame{name: name, started: now, energy: c.node.EnergyAt(now)})
+}
+
+// ExitRegion marks the end of the named region, which must be the most
+// recently entered one (regions nest strictly).
+func (c *NodeCtx) ExitRegion(p *sim.Proc, name string) {
+	if len(c.stack) == 0 {
+		panic(fmt.Sprintf("powerpack: ExitRegion(%q) with no open region on node %d", name, c.node.ID()))
+	}
+	top := c.stack[len(c.stack)-1]
+	if top.name != name {
+		panic(fmt.Sprintf("powerpack: ExitRegion(%q) but innermost region is %q", name, top.name))
+	}
+	c.stack = c.stack[:len(c.stack)-1]
+
+	now := c.node.Engine().Now()
+	rp := c.profiles[name]
+	if rp == nil {
+		rp = &RegionProfile{Region: name, Node: c.node.ID()}
+		c.profiles[name] = rp
+	}
+	rp.Count++
+	rp.Time += now.Sub(top.started)
+	rp.Energy += c.node.EnergyAt(now) - top.energy
+
+	c.prof.record(Event{Node: c.node.ID(), At: now, Kind: EventExit, Label: name, Energy: c.node.EnergyAt(now)})
+	if c.policy != nil {
+		c.policy.OnExit(p, c.node, name)
+	}
+}
+
+// Mark records a free-form timestamped annotation.
+func (c *NodeCtx) Mark(label string) {
+	now := c.node.Engine().Now()
+	c.prof.record(Event{Node: c.node.ID(), At: now, Kind: EventMark, Label: label, Energy: c.node.EnergyAt(now)})
+}
+
+// SetFrequencyIndex is the application-level DVS control call
+// (libxutil-style): it switches the node's operating point and logs it.
+func (c *NodeCtx) SetFrequencyIndex(p *sim.Proc, idx int) {
+	if idx == c.node.OPIndex() {
+		return
+	}
+	c.node.SetOperatingPointIndex(p, idx)
+	now := c.node.Engine().Now()
+	c.prof.record(Event{
+		Node: c.node.ID(), At: now, Kind: EventFreq,
+		Label:  c.node.OperatingPoint().Freq.String(),
+		Energy: c.node.EnergyAt(now),
+	})
+}
+
+// Profile returns the accumulated profile for a region on this node
+// (nil if the region never completed).
+func (c *NodeCtx) Profile(region string) *RegionProfile {
+	return c.profiles[region]
+}
+
+// Profiles returns every region profile on this node, sorted by name.
+func (c *NodeCtx) Profiles() []RegionProfile {
+	names := make([]string, 0, len(c.profiles))
+	for n := range c.profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]RegionProfile, 0, len(names))
+	for _, n := range names {
+		out = append(out, *c.profiles[n])
+	}
+	return out
+}
+
+// MergeProfiles sums region profiles with the same name across nodes,
+// returning cluster-wide totals sorted by name. Node is -1 in the
+// merged records.
+func MergeProfiles(ctxs []*NodeCtx, region string) RegionProfile {
+	merged := RegionProfile{Region: region, Node: -1}
+	for _, c := range ctxs {
+		if rp := c.profiles[region]; rp != nil {
+			merged.Count += rp.Count
+			merged.Time += rp.Time
+			merged.Energy += rp.Energy
+		}
+	}
+	return merged
+}
+
+// WriteCSV exports the aligned event timeline as CSV
+// (time_s,node,kind,label,energy_j) for external analysis, mirroring
+// the data sets the paper's tooling produced from per-node logs.
+func (pr *Profiler) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "node", "kind", "label", "energy_j"}); err != nil {
+		return err
+	}
+	for _, ev := range pr.Timeline() {
+		err := cw.Write([]string{
+			strconv.FormatFloat(ev.At.Seconds(), 'f', 6, 64),
+			strconv.Itoa(ev.Node),
+			ev.Kind.String(),
+			ev.Label,
+			strconv.FormatFloat(float64(ev.Energy), 'f', 3, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

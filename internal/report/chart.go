@@ -1,0 +1,96 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// CrescendoChart renders a figure-style ASCII chart of a normalized
+// crescendo: for each operating point, horizontal bars for normalized
+// energy and delay, in the spirit of the paper's paired-bar figures.
+func CrescendoChart(w io.Writer, title string, c core.Crescendo, ref int) error {
+	n := c.Normalized(ref)
+	var maxVal float64
+	for _, p := range n.Points {
+		maxVal = math.Max(maxVal, math.Max(p.Energy, p.Delay))
+	}
+	if maxVal <= 0 {
+		return fmt.Errorf("report: empty chart")
+	}
+	const width = 48
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-10s  %-*s\n", "", width, "normalized to "+c.Points[ref].Label+"  (#=energy, ==delay)")
+	for _, p := range n.Points {
+		eBar := int(p.Energy / maxVal * width)
+		dBar := int(p.Delay / maxVal * width)
+		fmt.Fprintf(&sb, "%-10s E %s %.3f\n", p.Label, pad(strings.Repeat("#", eBar), width), p.Energy)
+		fmt.Fprintf(&sb, "%-10s D %s %.3f\n", "", pad(strings.Repeat("=", dBar), width), p.Delay)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// CurveChart renders an x/y line as an ASCII scatter, used for the
+// Figure 2 tradeoff curves. Rows are y buckets from top (max) to
+// bottom, columns are the x samples.
+func CurveChart(w io.Writer, title string, xs []float64, series map[string][]float64, rows int) error {
+	if len(xs) == 0 || len(series) == 0 || rows < 2 {
+		return fmt.Errorf("report: bad curve chart input")
+	}
+	var names []string
+	for name, ys := range series {
+		if len(ys) != len(xs) {
+			return fmt.Errorf("report: series %q length mismatch", name)
+		}
+		names = append(names, name)
+	}
+	// Stable marker assignment: sort names.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	markers := "*+ox^@%&"
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for i, name := range names {
+		fmt.Fprintf(&sb, "  %c = %s\n", markers[i%len(markers)], name)
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(xs)))
+	}
+	for si, name := range names {
+		for xi, y := range series[name] {
+			if y < 0 {
+				y = 0
+			}
+			if y > 1 {
+				y = 1
+			}
+			row := int((1 - y) * float64(rows-1))
+			grid[row][xi] = markers[si%len(markers)]
+		}
+	}
+	for r, line := range grid {
+		yVal := 1 - float64(r)/float64(rows-1)
+		fmt.Fprintf(&sb, "%5.2f |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(&sb, "      %s\n", strings.Repeat("-", len(xs)+2))
+	fmt.Fprintf(&sb, "      x: %.2f .. %.2f\n\n", xs[0], xs[len(xs)-1])
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCrescendoChart(t *testing.T) {
+	var sb strings.Builder
+	if err := CrescendoChart(&sb, "Fig X.", sample(), 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig X.") || !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Fatalf("chart output:\n%s", out)
+	}
+	// Every point renders two bar rows.
+	if got := strings.Count(out, " E "); got != 5 {
+		t.Fatalf("%d energy rows", got)
+	}
+	if got := strings.Count(out, " D "); got != 5 {
+		t.Fatalf("%d delay rows", got)
+	}
+	// Empty crescendo errors.
+	if err := CrescendoChart(&sb, "x", core.Crescendo{Points: []core.Point{{Energy: 1, Delay: 1}}}, 0); err != nil {
+		t.Fatalf("single point should chart: %v", err)
+	}
+}
+
+func TestCurveChart(t *testing.T) {
+	xs := []float64{1, 1.25, 1.5, 1.75, 2}
+	series := map[string][]float64{
+		"d=0.2": {1, 0.6, 0.4, 0.3, 0.2},
+		"d=0.0": {1, 0.8, 0.6, 0.5, 0.4},
+	}
+	var sb strings.Builder
+	if err := CurveChart(&sb, "Fig 2.", xs, series, 11); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "* = d=0.0") || !strings.Contains(out, "+ = d=0.2") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00 |") || !strings.Contains(out, "0.00 |") {
+		t.Fatal("y axis missing")
+	}
+	// Validation paths.
+	if err := CurveChart(&sb, "x", nil, series, 11); err == nil {
+		t.Fatal("empty xs should error")
+	}
+	if err := CurveChart(&sb, "x", xs, map[string][]float64{"bad": {1}}, 11); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := CurveChart(&sb, "x", xs, series, 1); err == nil {
+		t.Fatal("too few rows should error")
+	}
+}

@@ -1,0 +1,196 @@
+// Package report renders experiment results in the shapes the paper
+// presents them: normalized energy-delay crescendo tables (Figures 1,
+// 3, 6, 7, 8), strategy comparisons (Figures 4 and 5), best-operating-
+// point tables (Tables 1 and 3), the operating-point list (Table 2),
+// and the weighted-ED2P tradeoff curves (Figure 2).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Comment string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Comment != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Comment)
+	}
+	sb.WriteByte('\n')
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Crescendo renders a normalized energy-delay crescendo (one paper
+// figure) with absolute values alongside.
+func Crescendo(w io.Writer, title string, c core.Crescendo) error {
+	n := c.Normalized(0)
+	t := &Table{
+		Title:  title,
+		Header: []string{"point", "energy(J)", "delay(s)", "E/E0", "D/D0"},
+	}
+	for i, p := range c.Points {
+		t.AddRow(
+			p.Label,
+			fmt.Sprintf("%.1f", p.Energy),
+			fmt.Sprintf("%.2f", p.Delay),
+			fmt.Sprintf("%.3f", n.Points[i].Energy),
+			fmt.Sprintf("%.3f", n.Points[i].Delay),
+		)
+	}
+	best := c.Best(core.DeltaHPC)
+	t.Comment = fmt.Sprintf("best: HPC=%s  energy=%s  performance=%s  (HPC point %.1f%% more efficient than %s)",
+		c.Points[best].Label,
+		c.Points[c.Best(core.DeltaEnergy)].Label,
+		c.Points[c.Best(core.DeltaPerformance)].Label,
+		100*c.Improvement(best, 0, core.DeltaHPC),
+		c.Points[0].Label)
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// BestPoints renders a Table 1 / Table 3 style best-operating-point
+// table for several workloads.
+func BestPoints(w io.Writer, title string, rows map[string]core.Crescendo, order []string) error {
+	t := &Table{
+		Title:  title,
+		Header: []string{"operating point", "HPC", "energy", "performance"},
+	}
+	for _, name := range order {
+		c, ok := rows[name]
+		if !ok {
+			continue
+		}
+		ops := c.SelectOperatingPoints()
+		t.AddRow(name, freqCell(ops.HPC), freqCell(ops.Energy), freqCell(ops.Performance))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+func freqCell(p core.Point) string {
+	if p.Freq == 0 {
+		return p.Label
+	}
+	return fmt.Sprintf("%d", p.Freq.MHz())
+}
+
+// OperatingPoints renders Table 2: the DVS table of the processor.
+func OperatingPoints(w io.Writer, table dvfs.Table) error {
+	t := &Table{
+		Title:  "Table 2. Frequency operating points and supply voltage (Pentium M 1.4GHz)",
+		Header: []string{"frequency", "supply voltage"},
+	}
+	for _, op := range table.Points() {
+		t.AddRow(op.Freq.String(), fmt.Sprintf("%.3fV", op.Voltage))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// TradeoffCurves renders Figure 2: for each weight factor, the energy
+// fraction required to tie the baseline as delay grows.
+func TradeoffCurves(w io.Writer, deltas []float64, xMax float64, n int) error {
+	t := &Table{
+		Title: "Fig 2. Required energy fraction vs delay factor (weighted ED2P ties)",
+	}
+	t.Header = append(t.Header, "delay x")
+	for _, d := range deltas {
+		t.Header = append(t.Header, fmt.Sprintf("d=%.1f", d))
+	}
+	xs, _ := core.TradeoffCurve(deltas[0], xMax, n)
+	rows := make([][]string, n)
+	for i, x := range xs {
+		rows[i] = append(rows[i], fmt.Sprintf("%.2f", x))
+	}
+	for _, d := range deltas {
+		_, ys := core.TradeoffCurve(d, xMax, n)
+		for i, y := range ys {
+			rows[i] = append(rows[i], fmt.Sprintf("%.3f", y))
+		}
+	}
+	t.Rows = rows
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// StrategyComparison renders Figures 4/5: energy and delay for each
+// strategy at each base operating point, normalized to the first row.
+type StrategyPoint struct {
+	Strategy string
+	Label    string
+	Energy   float64 // joules
+	Delay    float64 // seconds
+}
+
+// Strategies renders the comparison table normalized to base (index
+// into pts).
+func Strategies(w io.Writer, title string, pts []StrategyPoint, base int) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("report: no points")
+	}
+	b := pts[base]
+	t := &Table{
+		Title:  title,
+		Header: []string{"strategy", "point", "energy(J)", "delay(s)", "E/E0", "D/D0"},
+	}
+	for _, p := range pts {
+		t.AddRow(p.Strategy, p.Label,
+			fmt.Sprintf("%.1f", p.Energy),
+			fmt.Sprintf("%.2f", p.Delay),
+			fmt.Sprintf("%.3f", p.Energy/b.Energy),
+			fmt.Sprintf("%.3f", p.Delay/b.Delay))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

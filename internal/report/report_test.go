@@ -1,0 +1,118 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dvfs"
+)
+
+func sample() core.Crescendo {
+	tab := dvfs.PentiumM14()
+	return core.Crescendo{Workload: "demo", Points: []core.Point{
+		{Label: "1.4GHz", Freq: tab.At(0).Freq, Energy: 100, Delay: 10},
+		{Label: "1.2GHz", Freq: tab.At(1).Freq, Energy: 90, Delay: 10.5},
+		{Label: "1.0GHz", Freq: tab.At(2).Freq, Energy: 80, Delay: 11},
+		{Label: "800MHz", Freq: tab.At(3).Freq, Energy: 70, Delay: 11.7},
+		{Label: "600MHz", Freq: tab.At(4).Freq, Energy: 62, Delay: 12.8},
+	}}
+}
+
+func TestCrescendoRendering(t *testing.T) {
+	var sb strings.Builder
+	if err := Crescendo(&sb, "Fig X. demo", sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig X. demo", "1.4GHz", "600MHz", "E/E0", "0.620", "best: HPC="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBestPointsRendering(t *testing.T) {
+	var sb strings.Builder
+	rows := map[string]core.Crescendo{"demo": sample()}
+	if err := BestPoints(&sb, "Table 1.", rows, []string{"demo", "missing"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "600") || !strings.Contains(out, "1400") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if strings.Contains(out, "missing") {
+		t.Fatal("missing row should be skipped")
+	}
+}
+
+func TestOperatingPointsRendering(t *testing.T) {
+	var sb strings.Builder
+	if err := OperatingPoints(&sb, dvfs.PentiumM14()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1.4GHz", "1.484V", "600MHz", "0.956V"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTradeoffCurvesRendering(t *testing.T) {
+	var sb strings.Builder
+	if err := TradeoffCurves(&sb, []float64{-0.4, 0, 0.2, 0.4}, 2.0, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "d=0.2") || !strings.Contains(out, "1.00") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// First row (x=1) ties at fraction 1 for every weight.
+	lines := strings.Split(out, "\n")
+	var first string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1.00") {
+			first = l
+			break
+		}
+	}
+	if strings.Count(first, "1.000") != 4 {
+		t.Fatalf("x=1 row should be all 1.000: %q", first)
+	}
+}
+
+func TestStrategiesRendering(t *testing.T) {
+	pts := []StrategyPoint{
+		{Strategy: "static", Label: "1.4GHz", Energy: 100, Delay: 10},
+		{Strategy: "static", Label: "600MHz", Energy: 66, Delay: 11},
+		{Strategy: "dynamic", Label: "1.4GHz", Energy: 68, Delay: 10.8},
+		{Strategy: "cpuspeed", Label: "auto", Energy: 97, Delay: 9.9},
+	}
+	var sb strings.Builder
+	if err := Strategies(&sb, "Fig 4.", pts, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dynamic", "cpuspeed", "0.660", "0.970"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := Strategies(&sb, "x", nil, 0); err == nil {
+		t.Fatal("expected error on empty points")
+	}
+}
+
+func TestTableAddRow(t *testing.T) {
+	tb := &Table{Header: []string{"a", "bb"}}
+	tb.AddRow("x", "y")
+	var sb strings.Builder
+	if _, err := tb.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Fatal("row missing")
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when the event queue drains while
+// simulated processes are still blocked on conditions, mailboxes, or
+// resources that nothing will ever signal.
+var ErrDeadlock = errors.New("sim: deadlock: no pending events but processes remain blocked")
+
+// Engine owns the virtual clock and the event queue, and schedules
+// simulated processes. It is not safe for concurrent use from multiple
+// goroutines: all interaction must happen either before Run, from inside
+// process bodies, or from event callbacks.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   map[*Proc]struct{} // all live (not yet terminated) processes
+	blocked int                // live processes currently parked on a primitive
+	running bool
+	closed  bool
+	failure error // first process panic, reported by Run
+
+	// park is signalled by a process goroutine whenever it hands control
+	// back to the engine (by blocking, terminating, or dying).
+	park chan struct{}
+
+	// Trace, if non-nil, receives a line for every process state change.
+	// Intended for debugging simulations, not for measurement.
+	Trace func(t Time, format string, args ...any)
+}
+
+// NewEngine returns an engine with the clock at the simulation epoch.
+func NewEngine() *Engine {
+	return &Engine{
+		procs: make(map[*Proc]struct{}),
+		park:  make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at absolute time t inside the engine.
+// Scheduling in the past (t < Now) panics: it would silently reorder
+// causality and make runs non-reproducible.
+func (e *Engine) Schedule(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.queue.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// After arranges for fn to run d from now. Negative d is treated as zero.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now.Add(d), fn)
+}
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(e.now, format, args...)
+	}
+}
+
+// Run executes events until the queue is empty or until limit is reached
+// (limit <= 0 means run to exhaustion). It returns the time of the last
+// executed event. If the queue drains while processes remain blocked, Run
+// returns ErrDeadlock; the blocked processes can be inspected with
+// Blocked and reaped with Close.
+func (e *Engine) Run(limit Time) (Time, error) {
+	if e.closed {
+		return e.now, errors.New("sim: engine is closed")
+	}
+	if e.running {
+		return e.now, errors.New("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.queue.Len() > 0 {
+		if limit > 0 && e.queue.peek().t > limit {
+			e.now = limit
+			return e.now, nil
+		}
+		ev := e.queue.pop()
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		ev.fn()
+		if e.failure != nil {
+			return e.now, e.failure
+		}
+	}
+	if e.blocked > 0 {
+		return e.now, fmt.Errorf("%w (%d blocked)", ErrDeadlock, e.blocked)
+	}
+	return e.now, nil
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Blocked reports how many live processes are parked on a primitive with
+// nothing scheduled to wake them right now. It is meaningful after Run
+// returns.
+func (e *Engine) Blocked() int { return e.blocked }
+
+// Live reports the number of processes that have been spawned and have
+// not yet terminated.
+func (e *Engine) Live() int { return len(e.procs) }
+
+// Close terminates every live process by unwinding its goroutine, then
+// marks the engine unusable. It must be called once a simulation is
+// finished if any process may still be blocked (for example after a
+// deadlock or a truncated run); otherwise those goroutines would leak for
+// the lifetime of the host program. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// Created, parked, and waking processes are all blocked on their
+	// resume channel (initial start wait, primitive wait, or scheduled
+	// wake that will now never fire); a kill signal unwinds each.
+	for p := range e.procs {
+		switch p.state {
+		case procCreated, procParked, procWaking:
+			p.resume <- resumeKill
+			<-e.park
+		}
+	}
+	e.procs = nil
+}

@@ -1,0 +1,52 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between simulated processes.
+// Put never blocks; Recv blocks until a message is available. When a
+// receiver is already waiting, Put hands the message to it directly.
+type Mailbox struct {
+	eng   *Engine
+	msgs  []any
+	ready *Cond
+}
+
+// NewMailbox returns an empty mailbox bound to e.
+func NewMailbox(e *Engine) *Mailbox {
+	return &Mailbox{eng: e, ready: NewCond(e)}
+}
+
+// Len reports the number of queued (undelivered) messages.
+func (m *Mailbox) Len() int { return len(m.msgs) }
+
+// Put enqueues msg, waking the longest-waiting receiver if any.
+func (m *Mailbox) Put(msg any) {
+	if m.ready.Signal(msg) {
+		return
+	}
+	m.msgs = append(m.msgs, msg)
+}
+
+// Recv returns the oldest message, blocking the calling process until one
+// arrives.
+func (m *Mailbox) Recv(p *Proc) any {
+	if len(m.msgs) > 0 {
+		msg := m.msgs[0]
+		copy(m.msgs, m.msgs[1:])
+		m.msgs[len(m.msgs)-1] = nil
+		m.msgs = m.msgs[:len(m.msgs)-1]
+		return msg
+	}
+	return m.ready.Wait(p)
+}
+
+// TryRecv returns the oldest message without blocking; ok is false when
+// the mailbox is empty.
+func (m *Mailbox) TryRecv() (msg any, ok bool) {
+	if len(m.msgs) == 0 {
+		return nil, false
+	}
+	msg = m.msgs[0]
+	copy(m.msgs, m.msgs[1:])
+	m.msgs[len(m.msgs)-1] = nil
+	m.msgs = m.msgs[:len(m.msgs)-1]
+	return msg, true
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errKilled unwinds a process goroutine when the engine is closed. It is
+// recovered by the process wrapper and never escapes to user code.
+var errKilled = errors.New("sim: process killed")
+
+type resumeSignal int
+
+const (
+	resumeGo resumeSignal = iota
+	resumeKill
+)
+
+type procState int
+
+const (
+	procCreated procState = iota // spawned, start event not yet fired
+	procRunning                  // currently executing user code
+	procParked                   // blocked on a primitive, awaiting a waker
+	procWaking                   // a wake event has been scheduled
+	procDone                     // body returned or unwound
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with other processes under the engine's control so that exactly one
+// process (or the engine itself) runs at any moment. A Proc handle is
+// only valid inside the process's own body function; passing it to
+// another process and calling its blocking methods there corrupts the
+// scheduler.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan resumeSignal
+	state   procState
+	counted bool // contributes to eng.blocked
+	wakeVal any  // value handed over by the waker (mailbox messages etc.)
+}
+
+// Spawn creates a process named name whose body fn starts executing at
+// the current virtual time (once the engine regains control). The name
+// appears in traces and panic messages.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time, which must not be in the
+// past.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan resumeSignal),
+		state:  procCreated,
+	}
+	e.procs[p] = struct{}{}
+	go p.run(fn)
+	e.Schedule(t, func() {
+		if p.state != procCreated { // engine closed/killed meanwhile
+			return
+		}
+		e.tracef("proc %s: start", p.name)
+		p.state = procRunning
+		p.resume <- resumeGo
+		<-e.park
+	})
+	return p
+}
+
+// run is the goroutine wrapper around the process body.
+func (p *Proc) run(fn func(p *Proc)) {
+	if <-p.resume == resumeKill {
+		p.finish()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
+			// Record user panics on the engine so Run reports them as an
+			// error on the caller's goroutine instead of crashing this
+			// detached one.
+			if p.eng.failure == nil {
+				p.eng.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+		}
+		p.finish()
+	}()
+	fn(p)
+}
+
+// finish marks the process terminated and returns control to the engine.
+func (p *Proc) finish() {
+	p.state = procDone
+	if p.counted {
+		p.counted = false
+		p.eng.blocked--
+	}
+	delete(p.eng.procs, p)
+	p.eng.park <- struct{}{}
+}
+
+// yield parks the calling process until a wake is delivered, then returns
+// the value the waker attached. counted reports whether the process
+// should be considered "blocked with no scheduled wake" for deadlock
+// accounting (true for conditions/mailboxes/resources, false for Sleep,
+// whose wake event is already queued).
+func (p *Proc) yield(counted bool) any {
+	if p.state != procRunning {
+		panic("sim: blocking call from outside the process body")
+	}
+	p.state = procParked
+	p.counted = counted
+	if counted {
+		p.eng.blocked++
+	}
+	p.eng.park <- struct{}{}
+	if <-p.resume == resumeKill {
+		panic(errKilled)
+	}
+	v := p.wakeVal
+	p.wakeVal = nil
+	return v
+}
+
+// deliverAt schedules the parked process to resume at time t with val
+// available as the yield result. The caller must ensure the process is
+// currently parked; deliverAt transitions it to the waking state so no
+// other waker can race.
+func (p *Proc) deliverAt(t Time, val any) {
+	if p.state != procParked {
+		panic("sim: wake of a process that is not parked")
+	}
+	p.state = procWaking
+	if p.counted {
+		p.counted = false
+		p.eng.blocked--
+	}
+	p.eng.Schedule(t, func() {
+		if p.state != procWaking {
+			return // engine closed and the process was reaped
+		}
+		p.eng.tracef("proc %s: resume", p.name)
+		p.state = procRunning
+		p.wakeVal = val
+		p.resume <- resumeGo
+		<-p.eng.park
+	})
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d of virtual time. Zero or negative d
+// still yields, letting same-time events scheduled earlier run first.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	// Queue the wake before parking. The engine cannot run events while
+	// this process holds control, so the wake cannot fire early; the
+	// procParked guard protects against firing after a Close reaped us.
+	p.eng.Schedule(p.eng.now.Add(d), func() {
+		if p.state != procParked {
+			return
+		}
+		p.eng.tracef("proc %s: wake", p.name)
+		p.state = procRunning
+		p.wakeVal = nil
+		p.resume <- resumeGo
+		<-p.eng.park
+	})
+	p.yield(false)
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t is
+// not in the future beyond event ordering).
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.eng.now {
+		t = p.eng.now
+	}
+	p.Sleep(t.Sub(p.eng.now))
+}

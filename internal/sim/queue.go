@@ -1,0 +1,72 @@
+package sim
+
+// event is a scheduled occurrence: at time t, fn runs inside the engine
+// goroutine. Events with equal times fire in scheduling order (seq), which
+// keeps runs deterministic.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap of events ordered by (time, seq). It is
+// implemented directly rather than via container/heap to avoid interface
+// boxing on the hot path; the engine pushes and pops millions of events in
+// a large cluster run.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(ev event) {
+	h.items = append(h.items, ev)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items[n] = event{} // release fn for GC
+	h.items = h.items[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) peek() event { return h.items[0] }
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

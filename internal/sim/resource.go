@@ -1,0 +1,80 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted semaphore with FIFO granting, used to model
+// contended capacity such as network links, switch ports, and the memory
+// bus. Strict FIFO granting (a large request at the head blocks smaller
+// ones behind it) models store-and-forward hardware fairly and keeps the
+// simulation deterministic.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource returns a resource with the given total capacity, which
+// must be positive.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: NewResource capacity %d", capacity))
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued reports the number of processes waiting to acquire.
+func (r *Resource) Queued() int { return len(r.waiters) }
+
+// Acquire obtains n units for the calling process, blocking in FIFO order
+// until they are available. n must be between 1 and the capacity.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: Acquire %d of capacity %d", n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.yield(true)
+}
+
+// Release returns n units and grants as many queued requests as now fit,
+// in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 || r.inUse-n < 0 {
+		panic(fmt.Sprintf("sim: Release %d with %d in use", n, r.inUse))
+	}
+	r.inUse -= n
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if r.inUse+head.n > r.capacity {
+			return
+		}
+		r.inUse += head.n
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		head.p.deliverAt(r.eng.now, nil)
+	}
+}
+
+// Use acquires n units, runs the critical section for duration d of
+// virtual time, and releases. It is the common pattern for occupying a
+// link while a frame serializes.
+func (r *Resource) Use(p *Proc, n int, d Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}

@@ -1,0 +1,616 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var epoch Time
+	later := epoch.Add(3 * Second)
+	if later != Time(3*Second) {
+		t.Fatalf("Add: got %v", later)
+	}
+	if d := later.Sub(epoch); d != 3*Second {
+		t.Fatalf("Sub: got %v", d)
+	}
+	if s := later.Seconds(); s != 3.0 {
+		t.Fatalf("Seconds: got %v", s)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Duration.Seconds: got %v", got)
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Duration
+	}{
+		{0, 0},
+		{-1, 0},
+		{1, Second},
+		{0.5, 500 * Millisecond},
+		{1e-9, Nanosecond},
+		{2.5e-9, 3 * Nanosecond}, // rounds to nearest
+	}
+	for _, c := range cases {
+		if got := DurationOf(c.sec); got != c.want {
+			t.Errorf("DurationOf(%v) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestDurationOfRoundTrip(t *testing.T) {
+	f := func(ns int64) bool {
+		if ns < 0 {
+			ns = -ns
+		}
+		ns %= int64(Hour)
+		d := Duration(ns)
+		return DurationOf(d.Seconds()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(Time(30), func() { got = append(got, 3) })
+	e.Schedule(Time(10), func() { got = append(got, 1) })
+	e.Schedule(Time(20), func() { got = append(got, 2) })
+	// Same-time events fire in scheduling order.
+	e.Schedule(Time(20), func() { got = append(got, 20) })
+	end, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != Time(30) {
+		t.Fatalf("end time: got %v", end)
+	}
+	want := []int{1, 2, 20, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("order: got %v want %v", got, want)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Time(100), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.Schedule(Time(50), func() {})
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(Time(10), func() { fired++ })
+	e.Schedule(Time(100), func() { fired++ })
+	end, err := e.Run(Time(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 || end != Time(50) {
+		t.Fatalf("fired=%d end=%v", fired, end)
+	}
+	// Resume to exhaustion.
+	end, err = e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 || end != Time(100) {
+		t.Fatalf("after resume fired=%d end=%v", fired, end)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var wakes []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		wakes = append(wakes, p.Now())
+		p.Sleep(5 * Microsecond)
+		wakes = append(wakes, p.Now())
+		p.SleepUntil(Time(100 * Microsecond))
+		wakes = append(wakes, p.Now())
+		p.SleepUntil(Time(1)) // in the past: no-op
+		wakes = append(wakes, p.Now())
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Time(10 * Microsecond), Time(15 * Microsecond), Time(100 * Microsecond), Time(100 * Microsecond)}
+	if fmt.Sprint(wakes) != fmt.Sprint(want) {
+		t.Fatalf("wakes: got %v want %v", wakes, want)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("live procs after run: %d", e.Live())
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	e := NewEngine()
+	var started Time
+	e.SpawnAt(Time(42), "late", func(p *Proc) { started = p.Now() })
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if started != Time(42) {
+		t.Fatalf("start time: got %v", started)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	runOnce := func(seed int64) string {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var log []string
+		for i := 0; i < 20; i++ {
+			i := i
+			delays := make([]Duration, 5)
+			for j := range delays {
+				delays[j] = Duration(rng.Intn(1000)) * Microsecond
+			}
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for _, d := range delays {
+					p.Sleep(d)
+					log = append(log, fmt.Sprintf("%d@%v", i, p.Now()))
+				}
+			})
+		}
+		if _, err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, ",")
+	}
+	a, b := runOnce(7), runOnce(7)
+	if a != b {
+		t.Fatal("identical seeds produced different schedules")
+	}
+}
+
+func TestCondSignalFIFO(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var got []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			v := c.Wait(p)
+			got = append(got, fmt.Sprintf("%s=%v", name, v))
+		})
+	}
+	e.Schedule(Time(10), func() {
+		c.Signal(1)
+		c.Signal(2)
+		c.Signal(3)
+		if c.Signal(4) {
+			t.Error("Signal with no waiters reported true")
+		}
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := "a=1,b=2,c=3"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("got %q want %q", strings.Join(got, ","), want)
+	}
+}
+
+func TestCondBroadcastAndRemove(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	woken := 0
+	var procs []*Proc
+	for i := 0; i < 3; i++ {
+		p := e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+		procs = append(procs, p)
+	}
+	e.Schedule(Time(5), func() {
+		if c.Len() != 3 {
+			t.Errorf("Len = %d", c.Len())
+		}
+		if !c.Remove(procs[1]) {
+			t.Error("Remove known waiter failed")
+		}
+		if c.Remove(procs[1]) {
+			t.Error("second Remove succeeded")
+		}
+		if n := c.Broadcast(); n != 2 {
+			t.Errorf("Broadcast woke %d", n)
+		}
+	})
+	_, err := e.Run(0)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock (removed waiter never wakes), got %v", err)
+	}
+	if woken != 2 {
+		t.Fatalf("woken = %d", woken)
+	}
+	if e.Blocked() != 1 {
+		t.Fatalf("Blocked = %d", e.Blocked())
+	}
+	e.Close()
+	if e.Live() != 0 {
+		t.Fatalf("Live after Close = %d", e.Live())
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e)
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			got = append(got, m.Recv(p).(int))
+		}
+	})
+	e.Schedule(Time(1), func() { m.Put(1); m.Put(2) })
+	e.Schedule(Time(2), func() { m.Put(3); m.Put(4) })
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMailboxTryRecvAndLen(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e)
+	if _, ok := m.TryRecv(); ok {
+		t.Fatal("TryRecv on empty mailbox succeeded")
+	}
+	m.Put("x")
+	m.Put("y")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if v, ok := m.TryRecv(); !ok || v != "x" {
+		t.Fatalf("TryRecv = %v, %v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after TryRecv = %d", m.Len())
+	}
+}
+
+func TestMailboxHandoffBeforeQueue(t *testing.T) {
+	// A waiting receiver gets the message directly; it never appears in
+	// the queue.
+	e := NewEngine()
+	m := NewMailbox(e)
+	var got any
+	e.Spawn("recv", func(p *Proc) { got = m.Recv(p) })
+	e.Schedule(Time(10), func() {
+		m.Put(99)
+		if m.Len() != 0 {
+			t.Errorf("message queued despite waiting receiver (len=%d)", m.Len())
+		}
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestResourceContention(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []string
+	worker := func(name string, start Time, hold Duration) {
+		e.SpawnAt(start, name, func(p *Proc) {
+			r.Acquire(p, 1)
+			order = append(order, name+":in@"+p.Now().String())
+			p.Sleep(hold)
+			r.Release(1)
+		})
+	}
+	worker("a", Time(0), 10*Microsecond)
+	worker("b", Time(1), 10*Microsecond)
+	worker("c", Time(2), 10*Microsecond)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a:in@0.000000s", "b:in@0.000010s", "c:in@0.000020s"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order: got %v want %v", order, want)
+	}
+	if r.InUse() != 0 || r.Queued() != 0 {
+		t.Fatalf("resource not drained: inUse=%d queued=%d", r.InUse(), r.Queued())
+	}
+}
+
+func TestResourceFIFOBlocksSmallBehindLarge(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 4)
+	var order []string
+	e.Spawn("hog", func(p *Proc) {
+		r.Acquire(p, 3)
+		p.Sleep(100 * Microsecond)
+		r.Release(3)
+	})
+	e.SpawnAt(Time(1), "big", func(p *Proc) {
+		r.Acquire(p, 4)
+		order = append(order, "big@"+p.Now().String())
+		r.Release(4)
+	})
+	e.SpawnAt(Time(2), "small", func(p *Proc) {
+		// Only 1 unit free, but FIFO means small must wait behind big.
+		r.Acquire(p, 1)
+		order = append(order, "small@"+p.Now().String())
+		r.Release(1)
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || !strings.HasPrefix(order[0], "big@") {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var done Time
+	e.Spawn("u", func(p *Proc) {
+		r.Use(p, 2, 7*Microsecond)
+		done = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if done != Time(7*Microsecond) {
+		t.Fatalf("done at %v", done)
+	}
+}
+
+func TestResourceMisuse(t *testing.T) {
+	e := NewEngine()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero capacity", func() { NewResource(e, 0) })
+	r := NewResource(e, 2)
+	mustPanic("over-release", func() { r.Release(1) })
+	e.Spawn("p", func(p *Proc) {
+		mustPanic("acquire too much", func() { r.Acquire(p, 3) })
+		mustPanic("acquire zero", func() { r.Acquire(p, 0) })
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcPanicReportedByRun(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) {
+		p.Sleep(Microsecond)
+		panic("boom")
+	})
+	_, err := e.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloseReapsCreatedAndParked(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Spawn("parked", func(p *Proc) { c.Wait(p) })
+	_, err := e.Run(0)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+	// A process spawned but never started (engine not re-run).
+	e2 := NewEngine()
+	e2.Spawn("never-started", func(p *Proc) {})
+	e.Close()
+	e.Close() // idempotent
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d", e.Live())
+	}
+	// Close with a created-but-unstarted proc must not hang. The start
+	// event is still queued but the engine is closed, so reap directly.
+	e2.Close()
+	if e2.Live() != 0 {
+		t.Fatalf("e2 Live = %d", e2.Live())
+	}
+}
+
+func TestDeferredCleanupRunsOnKill(t *testing.T) {
+	e := NewEngine()
+	cleaned := false
+	c := NewCond(e)
+	e.Spawn("p", func(p *Proc) {
+		defer func() { cleaned = true }()
+		c.Wait(p)
+	})
+	if _, err := e.Run(0); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+	e.Close()
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+}
+
+func TestBlockedCounter(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) { c.Wait(p) })
+	}
+	e.Schedule(Time(10), func() {
+		if e.Blocked() != 3 {
+			t.Errorf("Blocked = %d, want 3", e.Blocked())
+		}
+		c.Signal(nil)
+	})
+	_, err := e.Run(0)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+	if e.Blocked() != 2 {
+		t.Fatalf("Blocked after one signal = %d", e.Blocked())
+	}
+	e.Close()
+}
+
+// Property: N processes sleeping random durations wake in nondecreasing
+// time order and all complete.
+func TestSleepWakeOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		e := NewEngine()
+		var wakes []Time
+		for i, r := range raw {
+			d := Duration(r) * Microsecond
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				wakes = append(wakes, p.Now())
+			})
+		}
+		if _, err := e.Run(0); err != nil {
+			return false
+		}
+		if len(wakes) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(wakes, func(i, j int) bool { return wakes[i] < wakes[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resource accounting never exceeds capacity and always drains.
+func TestResourceInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		cap := 1 + rng.Intn(4)
+		r := NewResource(e, cap)
+		ok := true
+		for i := 0; i < 20; i++ {
+			n := 1 + rng.Intn(cap)
+			start := Time(rng.Intn(100)) * Time(Microsecond)
+			hold := Duration(1+rng.Intn(100)) * Microsecond
+			e.SpawnAt(start, fmt.Sprintf("p%d", i), func(p *Proc) {
+				r.Acquire(p, n)
+				if r.InUse() > r.Capacity() {
+					ok = false
+				}
+				p.Sleep(hold)
+				r.Release(n)
+			})
+		}
+		if _, err := e.Run(0); err != nil {
+			return false
+		}
+		return ok && r.InUse() == 0 && r.Queued() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkEngineThroughput measures raw event throughput of the DES
+// kernel — the budget every cluster simulation spends from.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(Microsecond, tick)
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcessSwitch measures the coroutine handoff cost (park +
+// resume through channels), the per-blocking-call overhead of every
+// simulated process.
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestEngineTraceHook(t *testing.T) {
+	e := NewEngine()
+	var lines []string
+	e.Trace = func(at Time, format string, args ...any) {
+		lines = append(lines, fmt.Sprintf("%v "+format, append([]any{at}, args...)...))
+	}
+	e.Spawn("traced", func(p *Proc) {
+		p.Sleep(Microsecond)
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("trace lines: %v", lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "traced") {
+		t.Fatalf("trace missing proc name:\n%s", joined)
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Time(10), func() {})
+	e.Schedule(Time(20), func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatal("queue not drained")
+	}
+}

@@ -1,0 +1,107 @@
+// Package stats provides the small statistics toolkit the experiment
+// runner needs: summary statistics, normalization, and the
+// repeat-and-reject-outliers protocol the paper applies ("we repeated
+// each experiment at least 3 times or more to identify outliers").
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Median returns the median of xs (0 for an empty slice).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MinMax returns the smallest and largest values (0,0 for empty).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// RejectOutliers drops values farther than k median-absolute-deviations
+// from the median (a robust filter that tolerates the small sample
+// sizes of repeated runs). With fewer than three values, or when all
+// deviations are zero, it returns the input unchanged. k of 3.5 is a
+// conventional cutoff.
+func RejectOutliers(xs []float64, k float64) []float64 {
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...)
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	mad := Median(devs)
+	if mad == 0 {
+		return append([]float64(nil), xs...)
+	}
+	var out []float64
+	for _, x := range xs {
+		if math.Abs(x-med)/mad <= k {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 { // pathological: keep the median at least
+		return []float64{med}
+	}
+	return out
+}
+
+// Normalize divides every value by base, which must be non-zero.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if !almost(Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7)) {
+		t.Fatal("stddev")
+	}
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("single-value stddev")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Fatal("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax = %v %v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Fatal("empty minmax")
+	}
+}
+
+func TestRejectOutliers(t *testing.T) {
+	xs := []float64{10, 10.1, 9.9, 10.05, 50}
+	out := RejectOutliers(xs, 3.5)
+	if len(out) != 4 {
+		t.Fatalf("kept %d values: %v", len(out), out)
+	}
+	for _, x := range out {
+		if x == 50 {
+			t.Fatal("outlier survived")
+		}
+	}
+	// Small samples pass through.
+	if got := RejectOutliers([]float64{1, 100}, 3.5); len(got) != 2 {
+		t.Fatal("pairs must pass through")
+	}
+	// All-identical values (MAD = 0) pass through.
+	if got := RejectOutliers([]float64{5, 5, 5, 5}, 3.5); len(got) != 4 {
+		t.Fatal("identical values must pass through")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	if !almost(got[0], 1) || !almost(got[1], 2) || !almost(got[2], 3) {
+		t.Fatalf("normalize = %v", got)
+	}
+}
+
+// Property: the filtered set is a subset containing the median, and
+// mean lies within [min, max].
+func TestStatsProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		min, max := MinMax(xs)
+		m := Mean(xs)
+		if m < min-1e-9 || m > max+1e-9 {
+			return false
+		}
+		kept := RejectOutliers(xs, 3.5)
+		if len(kept) > len(xs) || len(kept) == 0 {
+			return false
+		}
+		counts := map[float64]int{}
+		for _, x := range xs {
+			counts[x]++
+		}
+		for _, x := range kept {
+			counts[x]--
+			if counts[x] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

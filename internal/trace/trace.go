@@ -1,0 +1,146 @@
+// Package trace records time-series power profiles of a running
+// cluster — the data product behind the paper's per-component power
+// plots. A Recorder samples every node's instantaneous draw (total and
+// per component), operating point, and activity state on a fixed
+// virtual-time interval, and exports the aligned multi-node series as
+// CSV for external plotting.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/dvfs"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Sample is one node's instantaneous reading.
+type Sample struct {
+	At        sim.Time
+	Node      int
+	Freq      dvfs.Hz
+	State     machine.State
+	Total     power.Watts
+	Component [power.NumComponents]power.Watts
+}
+
+// Recorder samples a set of nodes on a fixed interval.
+type Recorder struct {
+	nodes    []*machine.Node
+	interval sim.Duration
+	samples  []Sample
+}
+
+// NewRecorder builds a recorder over nodes with the given sampling
+// interval.
+func NewRecorder(nodes []*machine.Node, interval sim.Duration) *Recorder {
+	if len(nodes) == 0 {
+		panic("trace: no nodes")
+	}
+	if interval <= 0 {
+		panic("trace: non-positive interval")
+	}
+	return &Recorder{nodes: nodes, interval: interval}
+}
+
+// Spawn starts the sampling process; it takes an immediate sample, then
+// one per interval until done() reports true.
+func (r *Recorder) Spawn(eng *sim.Engine, done func() bool) {
+	eng.Spawn("trace", func(p *sim.Proc) {
+		r.sample(p.Now())
+		for {
+			p.Sleep(r.interval)
+			r.sample(p.Now())
+			if done != nil && done() {
+				return
+			}
+		}
+	})
+}
+
+func (r *Recorder) sample(at sim.Time) {
+	for _, n := range r.nodes {
+		s := Sample{
+			At:    at,
+			Node:  n.ID(),
+			Freq:  n.OperatingPoint().Freq,
+			State: n.State(),
+			Total: n.Power(),
+		}
+		for _, c := range power.Components() {
+			s.Component[c] = n.ComponentPower(c)
+		}
+		r.samples = append(r.samples, s)
+	}
+}
+
+// Samples returns all recordings so far.
+func (r *Recorder) Samples() []Sample {
+	out := make([]Sample, len(r.samples))
+	copy(out, r.samples)
+	return out
+}
+
+// Len reports the number of recorded samples.
+func (r *Recorder) Len() int { return len(r.samples) }
+
+// WriteCSV exports the aligned series: one row per (time, node), with
+// per-component watts in fixed columns.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"time_s", "node", "freq_mhz", "state", "total_w"}
+	for _, c := range power.Components() {
+		header = append(header, c.String()+"_w")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		row := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 6, 64),
+			strconv.Itoa(s.Node),
+			strconv.Itoa(s.Freq.MHz()),
+			s.State.String(),
+			strconv.FormatFloat(float64(s.Total), 'f', 3, 64),
+		}
+		for _, c := range power.Components() {
+			row = append(row, strconv.FormatFloat(float64(s.Component[c]), 'f', 3, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// NodeSeries filters the samples to one node, in time order.
+func (r *Recorder) NodeSeries(node int) []Sample {
+	var out []Sample
+	for _, s := range r.samples {
+		if s.Node == node {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MeanPower returns a node's average sampled draw over [from, to].
+func (r *Recorder) MeanPower(node int, from, to sim.Time) (power.Watts, error) {
+	var sum power.Watts
+	n := 0
+	for _, s := range r.samples {
+		if s.Node == node && s.At >= from && s.At <= to {
+			sum += s.Total
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("trace: no samples for node %d in [%v, %v]", node, from, to)
+	}
+	return sum / power.Watts(n), nil
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func fixture(t *testing.T) (*Recorder, *machine.Node, sim.Time) {
+	t.Helper()
+	e := sim.NewEngine()
+	n := machine.NewNode(e, 0, machine.DefaultParams())
+	done := false
+	r := NewRecorder([]*machine.Node{n}, 100*sim.Millisecond)
+	r.Spawn(e, func() bool { return done })
+	var end sim.Time
+	e.Spawn("app", func(p *sim.Proc) {
+		n.Compute(p, 1.4e9)          // 1s busy
+		n.IdleFor(p, sim.Second)     // 1s idle
+		n.MemoryRounds(p, 4_000_000) // ~0.46s memory
+		end = p.Now()
+		done = true
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return r, n, end
+}
+
+func TestRecorderSamples(t *testing.T) {
+	r, _, end := fixture(t)
+	if r.Len() < 20 {
+		t.Fatalf("only %d samples", r.Len())
+	}
+	series := r.NodeSeries(0)
+	if len(series) != r.Len() {
+		t.Fatal("single node: series must equal all samples")
+	}
+	for i, s := range series {
+		if i > 0 && s.At <= series[i-1].At {
+			t.Fatal("samples not strictly ordered")
+		}
+		var sum power.Watts
+		for _, c := range power.Components() {
+			sum += s.Component[c]
+		}
+		if math.Abs(float64(sum-s.Total)) > 1e-9 {
+			t.Fatalf("components %v != total %v", sum, s.Total)
+		}
+	}
+	_ = end
+}
+
+func TestRecorderSeesStates(t *testing.T) {
+	r, _, _ := fixture(t)
+	seen := map[machine.State]bool{}
+	for _, s := range r.NodeSeries(0) {
+		seen[s.State] = true
+	}
+	for _, want := range []machine.State{machine.Compute, machine.Idle, machine.MemoryStall} {
+		if !seen[want] {
+			t.Errorf("state %v never sampled", want)
+		}
+	}
+}
+
+func TestMeanPower(t *testing.T) {
+	r, _, _ := fixture(t)
+	// During the first second (compute) power is high; during the idle
+	// second it is low.
+	busy, err := r.MeanPower(0, 0, sim.Time(sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := r.MeanPower(0, sim.Time(1100*sim.Millisecond), sim.Time(1900*sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy < 25 || busy > 40 {
+		t.Fatalf("busy power %v", busy)
+	}
+	if idle >= busy/2 {
+		t.Fatalf("idle %v not well below busy %v", idle, busy)
+	}
+	if _, err := r.MeanPower(0, sim.Time(sim.Hour), sim.Time(2*sim.Hour)); err == nil {
+		t.Fatal("expected error for empty window")
+	}
+	if _, err := r.MeanPower(9, 0, sim.Time(sim.Second)); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r, _, _ := fixture(t)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != r.Len()+1 {
+		t.Fatalf("%d lines for %d samples", len(lines), r.Len())
+	}
+	if !strings.HasPrefix(lines[0], "time_s,node,freq_mhz,state,total_w,cpu_w") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "idle") {
+		t.Fatal("states missing from CSV")
+	}
+	// Every row has the same number of fields as the header.
+	want := strings.Count(lines[0], ",")
+	for i, l := range lines {
+		if strings.Count(l, ",") != want {
+			t.Fatalf("row %d field count mismatch: %q", i, l)
+		}
+	}
+}
+
+func TestRecorderValidation(t *testing.T) {
+	e := sim.NewEngine()
+	n := machine.NewNode(e, 0, machine.DefaultParams())
+	for _, fn := range []func(){
+		func() { NewRecorder(nil, sim.Second) },
+		func() { NewRecorder([]*machine.Node{n}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSamplesReturnsCopy(t *testing.T) {
+	r, _, _ := fixture(t)
+	s := r.Samples()
+	s[0].Node = 99
+	if r.Samples()[0].Node == 99 {
+		t.Fatal("Samples leaked internal slice")
+	}
+}

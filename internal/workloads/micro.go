@@ -1,0 +1,141 @@
+package workloads
+
+import "fmt"
+
+// MemBench is the PowerPack memory-bound microbenchmark (Fig. 6): it
+// reads and writes elements from a 32 MB buffer with a 128-byte stride,
+// so every reference misses the caches and is served from main memory.
+type MemBench struct {
+	// BufferBytes is the working-set size (default 32 MB).
+	BufferBytes int64
+	// StrideBytes is the access stride (default 128 B).
+	StrideBytes int64
+	// Passes is how many sweeps over the buffer to run; the paper runs
+	// long enough for the ACPI refresh to resolve the energy.
+	Passes int
+}
+
+// NewMemBench returns the paper's configuration with the given number
+// of passes.
+func NewMemBench(passes int) *MemBench {
+	return &MemBench{BufferBytes: 32 << 20, StrideBytes: 128, Passes: passes}
+}
+
+// Name implements Workload.
+func (b *MemBench) Name() string { return "membench" }
+
+// Ranks implements Workload.
+func (b *MemBench) Ranks() int { return 1 }
+
+// Run implements Workload.
+func (b *MemBench) Run(ctx Ctx) {
+	accesses := b.BufferBytes / b.StrideBytes
+	for i := 0; i < b.Passes; i++ {
+		ctx.Node.MemoryRounds(ctx.P, accesses)
+	}
+}
+
+// CacheBench is the CPU-bound microbenchmark of Fig. 7: reads and
+// writes over a 256 KB buffer with a 128-byte stride, so every access
+// hits the on-die (core-clocked) L2 cache.
+type CacheBench struct {
+	BufferBytes int64
+	StrideBytes int64
+	Passes      int
+}
+
+// NewCacheBench returns the paper's configuration.
+func NewCacheBench(passes int) *CacheBench {
+	return &CacheBench{BufferBytes: 256 << 10, StrideBytes: 128, Passes: passes}
+}
+
+// Name implements Workload.
+func (b *CacheBench) Name() string { return "cachebench" }
+
+// Ranks implements Workload.
+func (b *CacheBench) Ranks() int { return 1 }
+
+// Run implements Workload.
+func (b *CacheBench) Run(ctx Ctx) {
+	accesses := b.BufferBytes / b.StrideBytes
+	for i := 0; i < b.Passes; i++ {
+		ctx.Node.L2Rounds(ctx.P, accesses)
+	}
+}
+
+// RegBench is the register-only variant the paper mentions: all
+// operands live in registers, eliminating even L2 latency, so the code
+// is purely core-clocked — the worst case for DVS.
+type RegBench struct {
+	// CyclesPerPass is the core work per pass.
+	CyclesPerPass float64
+	Passes        int
+}
+
+// NewRegBench returns a configuration comparable in per-pass duration
+// to the other microbenchmarks.
+func NewRegBench(passes int) *RegBench {
+	return &RegBench{CyclesPerPass: 2e6, Passes: passes}
+}
+
+// Name implements Workload.
+func (b *RegBench) Name() string { return "regbench" }
+
+// Ranks implements Workload.
+func (b *RegBench) Ranks() int { return 1 }
+
+// Run implements Workload.
+func (b *RegBench) Run(ctx Ctx) {
+	for i := 0; i < b.Passes; i++ {
+		ctx.Node.Compute(ctx.P, b.CyclesPerPass)
+	}
+}
+
+// CommBench is the communication microbenchmark of Fig. 8: a two-rank
+// ping-pong. With MsgBytes = 256 KB it is Fig. 8(a) (rendezvous
+// round trip); with 4 KB it is Fig. 8(b) (eager messages, the touch of
+// the buffer at a 64-byte stride folded into the per-byte cost).
+type CommBench struct {
+	MsgBytes int64
+	Rounds   int
+}
+
+// NewCommBench256K returns Fig. 8(a)'s configuration.
+func NewCommBench256K(rounds int) *CommBench {
+	return &CommBench{MsgBytes: 256 << 10, Rounds: rounds}
+}
+
+// NewCommBench4K returns Fig. 8(b)'s configuration.
+func NewCommBench4K(rounds int) *CommBench {
+	return &CommBench{MsgBytes: 4 << 10, Rounds: rounds}
+}
+
+// Name implements Workload.
+func (b *CommBench) Name() string {
+	return fmt.Sprintf("commbench-%dB", b.MsgBytes)
+}
+
+// Ranks implements Workload.
+func (b *CommBench) Ranks() int { return 2 }
+
+// Run implements Workload.
+func (b *CommBench) Run(ctx Ctx) {
+	r := ctx.Rank
+	const tag = 1
+	// The 4 KB variant walks its buffer at a 64-byte stride each round
+	// (the paper's "4 Kbyte message with stride of 64 Bytes").
+	touches := int64(0)
+	if b.MsgBytes <= 64<<10 {
+		touches = b.MsgBytes / 64
+	}
+	for i := 0; i < b.Rounds; i++ {
+		ctx.Node.MemoryRounds(ctx.P, touches)
+		if r.ID() == 0 {
+			r.Send(ctx.P, 1, tag, b.MsgBytes, nil)
+			r.Recv(ctx.P, 1, tag)
+		} else {
+			r.Recv(ctx.P, 0, tag)
+			r.Send(ctx.P, 0, tag, b.MsgBytes, nil)
+		}
+	}
+}

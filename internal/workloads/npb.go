@@ -1,0 +1,206 @@
+package workloads
+
+// Additional NAS Parallel Benchmarks kernels beyond FT, covering the
+// three regimes the paper's microbenchmarks isolate: EP is pure compute
+// (register/cache bound — the mgrid regime), CG mixes memory-bound
+// sparse algebra with latency-sensitive reductions (the swim regime
+// plus communication), and IS is dominated by key exchange (the
+// communication regime). They extend the evaluation rather than
+// reproduce a specific paper figure; work and communication volumes
+// come from each kernel's class definition.
+
+import "fmt"
+
+// EP is the NPB "embarrassingly parallel" kernel: generate 2^M pairs of
+// Gaussian deviates and tally them, with only a final small reduction.
+// It is the cluster workload least able to benefit from DVS.
+type EP struct {
+	Class byte
+	Procs int
+	// PairsOverride, if positive, replaces the class pair count.
+	PairsOverride int64
+}
+
+// NewEP returns the kernel for a class ('A' 2^28, 'B' 2^30, 'C' 2^32)
+// on procs ranks.
+func NewEP(class byte, procs int) *EP {
+	checkClass("EP", class)
+	if procs < 1 {
+		panic("workloads: EP needs at least 1 rank")
+	}
+	return &EP{Class: class, Procs: procs}
+}
+
+func checkClass(kernel string, class byte) {
+	switch class {
+	case 'A', 'B', 'C':
+	default:
+		panic(fmt.Sprintf("workloads: unknown %s class %q", kernel, string(class)))
+	}
+}
+
+// Name implements Workload.
+func (e *EP) Name() string { return fmt.Sprintf("ep.%c", e.Class) }
+
+// Ranks implements Workload.
+func (e *EP) Ranks() int { return e.Procs }
+
+func (e *EP) pairs() int64 {
+	if e.PairsOverride > 0 {
+		return e.PairsOverride
+	}
+	switch e.Class {
+	case 'A':
+		return 1 << 28
+	case 'B':
+		return 1 << 30
+	default:
+		return 1 << 32
+	}
+}
+
+// Run implements Workload.
+func (e *EP) Run(ctx Ctx) {
+	const cyclesPerPair = 60 // LCG + log/sqrt via table, all core-clocked
+	local := e.pairs() / int64(e.Procs)
+	const slices = 16
+	for s := 0; s < slices; s++ {
+		ctx.Node.Compute(ctx.P, float64(local)*cyclesPerPair/slices)
+	}
+	if e.Procs > 1 {
+		// Tally the 10 annulus counts.
+		ctx.Rank.Allreduce(ctx.P, 80, nil, nil)
+	}
+}
+
+// CG is the NPB conjugate-gradient kernel: repeated sparse matrix-
+// vector products over a random matrix, with dot-product reductions
+// every iteration. The matvec is memory-bound (irregular gathers); the
+// vector is shared among ranks with an allgather per iteration under a
+// simple row-block distribution.
+type CG struct {
+	Class byte
+	Procs int
+	// IterOverride, if positive, replaces the class iteration count.
+	IterOverride int
+}
+
+// NewCG returns the kernel for a class on procs ranks.
+func NewCG(class byte, procs int) *CG {
+	checkClass("CG", class)
+	if procs < 1 {
+		panic("workloads: CG needs at least 1 rank")
+	}
+	return &CG{Class: class, Procs: procs}
+}
+
+// Name implements Workload.
+func (c *CG) Name() string { return fmt.Sprintf("cg.%c", c.Class) }
+
+// Ranks implements Workload.
+func (c *CG) Ranks() int { return c.Procs }
+
+// classParams returns (n, nonzeros, iterations).
+func (c *CG) classParams() (n, nnz int64, iters int) {
+	switch c.Class {
+	case 'A':
+		return 14000, 1_853_104, 15
+	case 'B':
+		return 75000, 13_708_072, 75
+	default:
+		return 150000, 36_121_058, 75
+	}
+}
+
+// Run implements Workload.
+func (c *CG) Run(ctx Ctx) {
+	n, nnz, iters := c.classParams()
+	if c.IterOverride > 0 {
+		iters = c.IterOverride
+	}
+	p := int64(c.Procs)
+	localNNZ := nnz / p
+	localN := n / p
+	const slices = 4
+	for it := 0; it < iters; it++ {
+		// Sparse matvec: ~1.3 dependent DRAM gathers per local nonzero
+		// (column index + value stream partially cached), 4 cycles each.
+		for s := 0; s < slices; s++ {
+			ctx.Node.MemoryRounds(ctx.P, localNNZ*13/10/slices)
+			ctx.Node.Compute(ctx.P, float64(localNNZ)*4/slices)
+		}
+		// Vector update (axpy) streams the local rows.
+		ctx.Node.MemoryRounds(ctx.P, localN/4)
+		if c.Procs > 1 {
+			// Share the updated vector and reduce two dot products.
+			ctx.Rank.Allgather(ctx.P, localN*8)
+			ctx.Rank.Allreduce(ctx.P, 8, nil, nil)
+			ctx.Rank.Allreduce(ctx.P, 8, nil, nil)
+		}
+	}
+}
+
+// IS is the NPB integer-sort kernel: bucketed key exchange dominated by
+// an all-to-all-v, plus local histogram and ranking passes.
+type IS struct {
+	Class byte
+	Procs int
+	// IterOverride, if positive, replaces the standard 10 iterations.
+	IterOverride int
+}
+
+// NewIS returns the kernel for a class ('A' 2^23 keys, 'B' 2^25,
+// 'C' 2^27) on procs ranks.
+func NewIS(class byte, procs int) *IS {
+	checkClass("IS", class)
+	if procs < 1 {
+		panic("workloads: IS needs at least 1 rank")
+	}
+	return &IS{Class: class, Procs: procs}
+}
+
+// Name implements Workload.
+func (s *IS) Name() string { return fmt.Sprintf("is.%c", s.Class) }
+
+// Ranks implements Workload.
+func (s *IS) Ranks() int { return s.Procs }
+
+func (s *IS) keys() int64 {
+	switch s.Class {
+	case 'A':
+		return 1 << 23
+	case 'B':
+		return 1 << 25
+	default:
+		return 1 << 27
+	}
+}
+
+// Run implements Workload.
+func (s *IS) Run(ctx Ctx) {
+	iters := 10
+	if s.IterOverride > 0 {
+		iters = s.IterOverride
+	}
+	p := int64(s.Procs)
+	localKeys := s.keys() / p
+	// Keys are 4 bytes; with uniform keys each rank keeps 1/P of its
+	// data and ships the rest evenly.
+	sizes := make([]int64, s.Procs)
+	for i := range sizes {
+		sizes[i] = localKeys * 4 / p
+	}
+	for it := 0; it < iters; it++ {
+		// Local histogram: one pass over the keys (cache-friendly
+		// counting), then bucket scatter (one store per key).
+		ctx.Node.MemoryRounds(ctx.P, localKeys/8)
+		ctx.Node.Compute(ctx.P, float64(localKeys)*3)
+		if s.Procs > 1 {
+			ctx.Rank.Alltoallv(ctx.P, sizes)
+			// Rank verification reduction.
+			ctx.Rank.Allreduce(ctx.P, 8, nil, nil)
+		}
+		// Local ranking of received keys.
+		ctx.Node.MemoryRounds(ctx.P, localKeys/8)
+	}
+}

@@ -1,0 +1,182 @@
+package workloads
+
+// MG and LU complete the NAS kernel set with two communication regimes
+// the others lack: MG's V-cycles touch every grid level, so its
+// messages span four orders of magnitude in size within one iteration;
+// LU's wavefront sweeps exchange thousands of tiny messages, making it
+// latency-bound rather than bandwidth-bound.
+
+import "fmt"
+
+// MG is the NPB multigrid kernel: V-cycles over a 3-D grid hierarchy.
+// Fine levels are memory-bound stencil sweeps with large halo
+// exchanges; coarse levels degenerate into latency-bound chatter.
+type MG struct {
+	Class byte
+	Procs int
+	// IterOverride, if positive, replaces the class iteration count.
+	IterOverride int
+}
+
+// NewMG returns the kernel for a class ('A' 256³, 'B' 256³ more
+// iterations, 'C' 512³) on procs ranks.
+func NewMG(class byte, procs int) *MG {
+	checkClass("MG", class)
+	if procs < 1 {
+		panic("workloads: MG needs at least 1 rank")
+	}
+	return &MG{Class: class, Procs: procs}
+}
+
+// Name implements Workload.
+func (m *MG) Name() string { return fmt.Sprintf("mg.%c", m.Class) }
+
+// Ranks implements Workload.
+func (m *MG) Ranks() int { return m.Procs }
+
+// classParams returns (grid dimension per axis, iterations).
+func (m *MG) classParams() (dim int64, iters int) {
+	switch m.Class {
+	case 'A':
+		return 256, 4
+	case 'B':
+		return 256, 20
+	default:
+		return 512, 20
+	}
+}
+
+// Run implements Workload.
+func (m *MG) Run(ctx Ctx) {
+	dim, iters := m.classParams()
+	if m.IterOverride > 0 {
+		iters = m.IterOverride
+	}
+	p := int64(m.Procs)
+	const (
+		// Stencil sweep costs per grid point (27-point operator).
+		accessesPerPoint = 1.2
+		cyclesPerPoint   = 30.0
+		minDim           = 4 // coarsest level per axis
+	)
+	for it := 0; it < iters; it++ {
+		// Down-sweep (restriction) and up-sweep (prolongation) both
+		// touch every level; fold them into one pass per level per
+		// direction.
+		for pass := 0; pass < 2; pass++ {
+			for d := dim; d >= minDim; d /= 2 {
+				points := d * d * d / p
+				if points < 1 {
+					points = 1
+				}
+				ctx.Node.MemoryRounds(ctx.P, int64(float64(points)*accessesPerPoint))
+				ctx.Node.Compute(ctx.P, float64(points)*cyclesPerPoint)
+				if m.Procs > 1 {
+					// Halo exchange: one face per neighbor pair, 8 bytes
+					// per face point. Coarse levels send tiny messages.
+					face := d * d / p * 8
+					if face < 64 {
+						face = 64
+					}
+					next := (ctx.Rank.ID() + 1) % m.Procs
+					prev := (ctx.Rank.ID() - 1 + m.Procs) % m.Procs
+					ctx.Rank.Sendrecv(ctx.P, next, 3, face, nil, prev, 3)
+				}
+			}
+		}
+		if m.Procs > 1 {
+			// Residual norm.
+			ctx.Rank.Allreduce(ctx.P, 8, nil, nil)
+		}
+	}
+}
+
+// LU is the NPB LU kernel (SSOR solver): wavefront sweeps over a 2-D
+// pencil decomposition exchanging one small message per grid plane with
+// each downstream neighbor — thousands of latency-bound messages per
+// iteration.
+type LU struct {
+	Class byte
+	Procs int
+	// IterOverride, if positive, replaces the class iteration count.
+	IterOverride int
+}
+
+// NewLU returns the kernel for a class ('A' 64³, 'B' 102³, 'C' 162³) on
+// procs ranks.
+func NewLU(class byte, procs int) *LU {
+	checkClass("LU", class)
+	if procs < 1 {
+		panic("workloads: LU needs at least 1 rank")
+	}
+	return &LU{Class: class, Procs: procs}
+}
+
+// Name implements Workload.
+func (l *LU) Name() string { return fmt.Sprintf("lu.%c", l.Class) }
+
+// Ranks implements Workload.
+func (l *LU) Ranks() int { return l.Procs }
+
+// classParams returns (grid dimension, iterations).
+func (l *LU) classParams() (dim int64, iters int) {
+	switch l.Class {
+	case 'A':
+		return 64, 50
+	case 'B':
+		return 102, 50
+	default:
+		return 162, 50
+	}
+}
+
+// Run implements Workload. The wavefront is modeled as a pipelined
+// chain: for each of the dim grid planes, a rank computes its pencil's
+// share of the plane and forwards a boundary strip to the next rank.
+func (l *LU) Run(ctx Ctx) {
+	dim, iters := l.classParams()
+	if l.IterOverride > 0 {
+		iters = l.IterOverride
+	}
+	p := int64(l.Procs)
+	me := ctx.Rank.ID()
+	const (
+		cyclesPerPoint   = 90.0 // SSOR is flop-heavy per point
+		accessesPerPoint = 0.6
+	)
+	planePoints := dim * dim / p
+	if planePoints < 1 {
+		planePoints = 1
+	}
+	stripBytes := dim / p * 5 * 8 // 5 variables per boundary point
+	if stripBytes < 40 {
+		stripBytes = 40
+	}
+	for it := 0; it < iters; it++ {
+		// Lower-triangular sweep: wave flows rank 0 → P-1.
+		for plane := int64(0); plane < dim; plane++ {
+			if l.Procs > 1 && me > 0 {
+				ctx.Rank.Recv(ctx.P, me-1, 11)
+			}
+			ctx.Node.MemoryRounds(ctx.P, int64(float64(planePoints)*accessesPerPoint))
+			ctx.Node.Compute(ctx.P, float64(planePoints)*cyclesPerPoint)
+			if l.Procs > 1 && me < l.Procs-1 {
+				ctx.Rank.Send(ctx.P, me+1, 11, stripBytes, nil)
+			}
+		}
+		// Upper-triangular sweep: wave flows back P-1 → 0.
+		for plane := int64(0); plane < dim; plane++ {
+			if l.Procs > 1 && me < l.Procs-1 {
+				ctx.Rank.Recv(ctx.P, me+1, 12)
+			}
+			ctx.Node.MemoryRounds(ctx.P, int64(float64(planePoints)*accessesPerPoint))
+			ctx.Node.Compute(ctx.P, float64(planePoints)*cyclesPerPoint)
+			if l.Procs > 1 && me > 0 {
+				ctx.Rank.Send(ctx.P, me-1, 12, stripBytes, nil)
+			}
+		}
+		if l.Procs > 1 {
+			ctx.Rank.Allreduce(ctx.P, 40, nil, nil)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestMGLUNamesAndValidation(t *testing.T) {
+	if NewMG('A', 4).Name() != "mg.A" || NewLU('B', 4).Name() != "lu.B" {
+		t.Fatal("names")
+	}
+	for _, fn := range []func(){
+		func() { NewMG('X', 4) },
+		func() { NewLU('X', 4) },
+		func() { NewMG('A', 0) },
+		func() { NewLU('A', 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMGCompletesAndMixesMessageSizes(t *testing.T) {
+	mg := NewMG('A', 4)
+	mg.IterOverride = 2
+	_, nodes, end := harness(t, mg)
+	if end <= 0 {
+		t.Fatal("no progress")
+	}
+	// A V-cycle touches memory at fine levels and communicates at all
+	// levels.
+	n := nodes[0]
+	if n.StateTime(machine.MemoryStall) <= 0 {
+		t.Fatal("MG must be partly memory bound")
+	}
+	wait := n.StateTime(machine.Spin) + n.StateTime(machine.Blocked)
+	if wait <= 0 {
+		t.Fatal("MG must communicate")
+	}
+}
+
+func TestLUWavefrontPipelines(t *testing.T) {
+	lu := NewLU('A', 4)
+	lu.IterOverride = 2
+	_, nodes, end := harness(t, lu)
+	if end <= 0 {
+		t.Fatal("no progress")
+	}
+	// Thousands of tiny messages: per-iteration message count is
+	// ~2×dim per interior rank.
+	n := nodes[1]
+	wait := n.StateTime(machine.Spin) + n.StateTime(machine.Blocked)
+	if wait <= 0 {
+		t.Fatal("LU must spend time in wavefront waits")
+	}
+}
+
+func TestLUMessageCount(t *testing.T) {
+	lu := NewLU('A', 4)
+	lu.IterOverride = 1
+	_, _, world, _ := harnessWorld(t, lu)
+	// Interior ranks: recv+send per plane per sweep (2 sweeps of 64
+	// planes) ≈ 256 point-to-point messages plus the allreduce.
+	if got := world.Rank(1).Stats().MsgsSent; got < 120 {
+		t.Fatalf("rank 1 sent %d messages; LU should be chatty", got)
+	}
+	// And the messages are tiny: average size well under the eager
+	// threshold.
+	st := world.Rank(1).Stats()
+	if st.BytesSent/st.MsgsSent > 4096 {
+		t.Fatalf("LU average message %d bytes; should be latency-bound", st.BytesSent/st.MsgsSent)
+	}
+}
+
+func TestMGLUSingleRank(t *testing.T) {
+	mg := NewMG('A', 1)
+	mg.IterOverride = 1
+	lu := NewLU('A', 1)
+	lu.IterOverride = 1
+	for _, w := range []Workload{mg, lu} {
+		_, _, end := harness(t, w)
+		if end <= 0 {
+			t.Fatalf("%s did not run", w.Name())
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestNPBNamesAndValidation(t *testing.T) {
+	if NewEP('A', 4).Name() != "ep.A" || NewCG('B', 4).Name() != "cg.B" || NewIS('C', 8).Name() != "is.C" {
+		t.Fatal("names")
+	}
+	for _, fn := range []func(){
+		func() { NewEP('X', 4) },
+		func() { NewCG('X', 4) },
+		func() { NewIS('X', 4) },
+		func() { NewEP('A', 0) },
+		func() { NewCG('A', 0) },
+		func() { NewIS('A', 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEPIsComputeBound(t *testing.T) {
+	ep := NewEP('A', 4)
+	ep.PairsOverride = 1 << 22
+	_, nodes, end := harness(t, ep)
+	frac := float64(nodes[0].StateTime(machine.Compute)) / float64(end)
+	if frac < 0.90 {
+		t.Fatalf("EP compute fraction %.3f", frac)
+	}
+}
+
+func TestCGIsMemoryAndCommBound(t *testing.T) {
+	cg := NewCG('A', 4)
+	cg.IterOverride = 3
+	_, nodes, end := harness(t, cg)
+	n := nodes[0]
+	mem := float64(n.StateTime(machine.MemoryStall)) / float64(end)
+	wait := float64(n.StateTime(machine.Spin)+n.StateTime(machine.Blocked)) / float64(end)
+	if mem < 0.30 {
+		t.Fatalf("CG memory fraction %.3f too low", mem)
+	}
+	if wait <= 0 {
+		t.Fatal("CG should spend time in communication waits")
+	}
+	comp := float64(n.StateTime(machine.Compute)) / float64(end)
+	if comp > mem {
+		t.Fatalf("CG compute fraction %.3f should be below memory %.3f", comp, mem)
+	}
+}
+
+func TestISIsCommHeavy(t *testing.T) {
+	is := NewIS('A', 8)
+	is.IterOverride = 2
+	_, nodes, end := harness(t, is)
+	n := nodes[0]
+	wait := float64(n.StateTime(machine.Spin)+n.StateTime(machine.Blocked)) / float64(end)
+	if wait < 0.25 {
+		t.Fatalf("IS wait fraction %.3f too low", wait)
+	}
+}
+
+func TestNPBSingleRankSkipsCollectives(t *testing.T) {
+	// Every kernel must run on one rank without touching MPI.
+	ep := NewEP('A', 1)
+	ep.PairsOverride = 1 << 20
+	cg := NewCG('A', 1)
+	cg.IterOverride = 1
+	is := NewIS('A', 1)
+	is.IterOverride = 1
+	for _, w := range []Workload{ep, cg, is} {
+		_, _, end := harness(t, w)
+		if end <= 0 {
+			t.Fatalf("%s did not run", w.Name())
+		}
+	}
+}
+
+func TestEPClassScaling(t *testing.T) {
+	if NewEP('A', 1).pairs() >= NewEP('B', 1).pairs() || NewEP('B', 1).pairs() >= NewEP('C', 1).pairs() {
+		t.Fatal("EP classes must grow")
+	}
+	nA, nnzA, _ := NewCG('A', 1).classParams()
+	nB, nnzB, _ := NewCG('B', 1).classParams()
+	if nA >= nB || nnzA >= nnzB {
+		t.Fatal("CG classes must grow")
+	}
+	if NewIS('A', 1).keys() >= NewIS('B', 1).keys() {
+		t.Fatal("IS classes must grow")
+	}
+}

@@ -1,0 +1,64 @@
+package workloads
+
+// Sequential models of the two SPEC CFP2000 codes of Figure 1. Both are
+// expressed as iterations mixing DRAM-bound and core-bound phases; the
+// mix ratio is what distinguishes them:
+//
+//   - swim (shallow-water finite differences) streams large arrays and
+//     spends ~90% of its time stalled on memory — the energy-friendly
+//     crescendo whose "best" HPC operating point drops to 1.0 GHz
+//     (paper Table 1);
+//   - mgrid (multigrid solver) is cache-resident and compute-heavy
+//     (~25% memory), so reduced frequency buys little energy at a large
+//     delay cost and the HPC best stays at 1.4 GHz.
+
+// Spec is a sequential two-phase iteration mix.
+type Spec struct {
+	name string
+	// MemAccessesPerIter DRAM round trips per iteration.
+	MemAccessesPerIter int64
+	// ComputeCyclesPerIter core cycles per iteration.
+	ComputeCyclesPerIter float64
+	Iterations           int
+}
+
+// NewSwim builds the swim model: at the top frequency roughly 90% of
+// iteration time is memory stall (1M accesses ≈ 115 ms) and 10% core
+// work (17.8M cycles ≈ 12.7 ms).
+func NewSwim(iterations int) *Spec {
+	return &Spec{
+		name:                 "swim",
+		MemAccessesPerIter:   1_000_000,
+		ComputeCyclesPerIter: 17.8e6,
+		Iterations:           iterations,
+	}
+}
+
+// NewMgrid builds the mgrid model: roughly 25% memory stall and 75%
+// core work per iteration at the top frequency.
+func NewMgrid(iterations int) *Spec {
+	return &Spec{
+		name:                 "mgrid",
+		MemAccessesPerIter:   280_000, // ≈32 ms at 114.6 ns/access
+		ComputeCyclesPerIter: 134.7e6, // ≈96 ms at 1.4 GHz
+		Iterations:           iterations,
+	}
+}
+
+// Name implements Workload.
+func (s *Spec) Name() string { return s.name }
+
+// Ranks implements Workload.
+func (s *Spec) Ranks() int { return 1 }
+
+// Run implements Workload. Iterations interleave the memory and compute
+// phases in slices so DVS transitions take effect at fine granularity.
+func (s *Spec) Run(ctx Ctx) {
+	const slices = 4
+	for it := 0; it < s.Iterations; it++ {
+		for sl := 0; sl < slices; sl++ {
+			ctx.Node.MemoryRounds(ctx.P, s.MemAccessesPerIter/slices)
+			ctx.Node.Compute(ctx.P, s.ComputeCyclesPerIter/slices)
+		}
+	}
+}

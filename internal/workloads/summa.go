@@ -1,0 +1,73 @@
+package workloads
+
+// Summa is a dense matrix-multiply on a square process grid using the
+// SUMMA algorithm: in each of the √P panel steps, the owning column
+// broadcasts an A-panel along its row communicator and the owning row
+// broadcasts a B-panel along its column communicator, then every rank
+// multiplies the panels locally. It exercises sub-communicators the
+// way real dense linear algebra does, and it is compute-bound with a
+// periodic, broadcast-shaped communication pattern — different from
+// both FT's all-to-all and LU's wavefront.
+
+import "fmt"
+
+// Summa multiplies two N×N matrices on a G×G process grid (G²  ranks).
+type Summa struct {
+	// N is the matrix dimension.
+	N int64
+	// Grid is G, the side of the process grid.
+	Grid int
+}
+
+// NewSumma returns an N×N multiply on a grid×grid rank layout.
+func NewSumma(n int64, grid int) *Summa {
+	if n <= 0 || grid <= 0 {
+		panic("workloads: SUMMA needs positive size and grid")
+	}
+	if n%int64(grid) != 0 {
+		panic(fmt.Sprintf("workloads: SUMMA N=%d not divisible by grid %d", n, grid))
+	}
+	return &Summa{N: n, Grid: grid}
+}
+
+// Name implements Workload.
+func (s *Summa) Name() string { return fmt.Sprintf("summa.%d", s.N) }
+
+// Ranks implements Workload.
+func (s *Summa) Ranks() int { return s.Grid * s.Grid }
+
+// Run implements Workload.
+func (s *Summa) Run(ctx Ctx) {
+	g := s.Grid
+	me := ctx.Rank.ID()
+	row := me / g
+	col := me % g
+	rowComm := ctx.Rank.Split(ctx.P, row, col) // peers sharing my row
+	colComm := ctx.Rank.Split(ctx.P, col, row) // peers sharing my column
+
+	block := s.N / int64(g)         // local block is block×block
+	panelBytes := block * block * 8 // one panel per step
+	flopsPerStep := 2 * float64(block) * float64(block) * float64(block)
+	// Local GEMM streams the panels once per step; blocked kernels keep
+	// most traffic in cache.
+	accessesPerStep := block * block / 2
+
+	for k := 0; k < g; k++ {
+		ctx.PP.EnterRegion(ctx.P, RegionPanel)
+		rowComm.Bcast(ctx.P, k, panelBytes, nil) // A-panel from column k
+		colComm.Bcast(ctx.P, k, panelBytes, nil) // B-panel from row k
+		ctx.PP.ExitRegion(ctx.P, RegionPanel)
+
+		const slices = 4
+		for sl := 0; sl < slices; sl++ {
+			ctx.Node.MemoryRounds(ctx.P, accessesPerStep/slices)
+			ctx.Node.ComputeFlops(ctx.P, flopsPerStep/slices)
+		}
+	}
+	// Verification norm.
+	ctx.Rank.Allreduce(ctx.P, 8, nil, nil)
+}
+
+// RegionPanel is the PowerPack region wrapping SUMMA's panel
+// broadcasts — its communication slack.
+const RegionPanel = "panel"

@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestSummaValidation(t *testing.T) {
+	if NewSumma(1024, 2).Name() != "summa.1024" || NewSumma(1024, 2).Ranks() != 4 {
+		t.Fatal("basics")
+	}
+	for _, fn := range []func(){
+		func() { NewSumma(0, 2) },
+		func() { NewSumma(100, 0) },
+		func() { NewSumma(1000, 3) }, // not divisible
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummaRunsOnGrid(t *testing.T) {
+	s := NewSumma(4096, 2)
+	ctxs, nodes, end := harness(t, s)
+	if end <= 0 {
+		t.Fatal("no progress")
+	}
+	// Compute dominates (it is a GEMM), with panel waits present.
+	n := nodes[0]
+	comp := float64(n.StateTime(machine.Compute)) / float64(end)
+	if comp < 0.5 {
+		t.Fatalf("compute fraction %.3f", comp)
+	}
+	// The panel region was profiled on every rank, once per step.
+	for i, c := range ctxs {
+		rp := c.Profile(RegionPanel)
+		if rp == nil || rp.Count != 2 {
+			t.Fatalf("rank %d panel profile %+v", i, rp)
+		}
+	}
+}
+
+func TestSummaPanelTrafficScales(t *testing.T) {
+	s := NewSumma(768, 2)
+	_, _, world, _ := harnessWorld(t, s)
+	// Each bcast ships a (N/G)² panel: per rank, per step, bounded
+	// below by one panel's bytes.
+	panel := int64(384 * 384 * 8)
+	var total int64
+	for i := 0; i < s.Ranks(); i++ {
+		total += world.Rank(i).Stats().BytesSent
+	}
+	if total < panel*2 { // at least the two roots shipped panels
+		t.Fatalf("total panel traffic %d too small", total)
+	}
+}

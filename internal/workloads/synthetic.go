@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Synthetic is a reproducible random workload: a seed expands into a
+// per-rank program of compute, memory, copy, and communication phases.
+// It exists to fuzz the whole stack (cost model, MPI runtime, power
+// accounting, measurement) far outside the shapes the curated kernels
+// exercise, while staying deterministic for a given seed.
+type Synthetic struct {
+	// Seed selects the program.
+	Seed int64
+	// Procs is the rank count.
+	Procs int
+	// Phases is the program length per iteration.
+	Phases int
+	// Iterations repeats the phase program.
+	Iterations int
+}
+
+// NewSynthetic returns a random workload for the seed.
+func NewSynthetic(seed int64, procs, phases, iterations int) *Synthetic {
+	if procs < 1 || phases < 1 || iterations < 1 {
+		panic("workloads: synthetic needs positive procs, phases, iterations")
+	}
+	return &Synthetic{Seed: seed, Procs: procs, Phases: phases, Iterations: iterations}
+}
+
+// Name implements Workload.
+func (s *Synthetic) Name() string { return fmt.Sprintf("synthetic.%d", s.Seed) }
+
+// Ranks implements Workload.
+func (s *Synthetic) Ranks() int { return s.Procs }
+
+// phase is one step of the generated program. All ranks execute the
+// same program (SPMD), so collectives always match.
+type synthPhase struct {
+	kind  int // 0 compute, 1 memory, 2 copy, 3 barrier, 4 alltoall, 5 allreduce, 6 ring sendrecv, 7 region-wrapped memory
+	amt   int64
+	bytes int64
+}
+
+// program expands the seed. Every rank derives the identical program.
+func (s *Synthetic) program() []synthPhase {
+	rng := rand.New(rand.NewSource(s.Seed))
+	phases := make([]synthPhase, s.Phases)
+	for i := range phases {
+		kind := rng.Intn(8)
+		if s.Procs == 1 && kind >= 3 && kind <= 6 {
+			kind = rng.Intn(3) // no communication on one rank
+		}
+		phases[i] = synthPhase{
+			kind:  kind,
+			amt:   int64(rng.Intn(2_000_000) + 1000),
+			bytes: int64(rng.Intn(2<<20) + 64),
+		}
+	}
+	return phases
+}
+
+// Run implements Workload.
+func (s *Synthetic) Run(ctx Ctx) {
+	prog := s.program()
+	me := ctx.Rank.ID()
+	n := s.Procs
+	for it := 0; it < s.Iterations; it++ {
+		for _, ph := range prog {
+			switch ph.kind {
+			case 0:
+				ctx.Node.Compute(ctx.P, float64(ph.amt))
+			case 1:
+				ctx.Node.MemoryRounds(ctx.P, ph.amt/10)
+			case 2:
+				ctx.Node.CopyBytes(ctx.P, ph.bytes)
+			case 3:
+				ctx.Rank.Barrier(ctx.P)
+			case 4:
+				ctx.Rank.Alltoall(ctx.P, ph.bytes)
+			case 5:
+				ctx.Rank.Allreduce(ctx.P, 64, nil, nil)
+			case 6:
+				next := (me + 1) % n
+				prev := (me - 1 + n) % n
+				ctx.Rank.Sendrecv(ctx.P, next, 1, ph.bytes, nil, prev, 1)
+			case 7:
+				ctx.PP.EnterRegion(ctx.P, "synth")
+				ctx.Node.MemoryRounds(ctx.P, ph.amt/10)
+				ctx.PP.ExitRegion(ctx.P, "synth")
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package workloads
+
+import "fmt"
+
+// Transpose is the paper's parallel matrix transpose: a 12K×12K matrix
+// of doubles block-distributed on a 5×3 process grid (submatrices of
+// 2400×4000). Each iteration:
+//
+//  1. transposes the local submatrix (memory-bound),
+//  2. redistributes blocks to their transposed owners — a general
+//     block remap expressed as an all-to-all-v whose per-pair volumes
+//     are the geometric overlaps, which is where the load imbalance
+//     comes from (the corner rank keeps most of its data local),
+//  3. transmits everything to the root processor for assembly — a
+//     gather whose arrivals serialize on the root's receive link.
+//
+// Steps 2 and 3 are marked as PowerPack regions ("step2", "step3"),
+// matching where the paper inserts dynamic DVS control.
+type Transpose struct {
+	// N is the matrix dimension (12000 in the paper).
+	N int64
+	// PRows × PCols is the process grid (5×3 = 15 ranks).
+	PRows, PCols int
+	// Iterations repeats the whole transpose, as the paper iterates
+	// application execution to resolve ACPI energy.
+	Iterations int
+}
+
+// Region names for dynamic DVS control.
+const (
+	RegionStep2 = "step2"
+	RegionStep3 = "step3"
+)
+
+// NewTranspose returns the paper's 12K×12K / 5×3 configuration.
+func NewTranspose(iterations int) *Transpose {
+	return &Transpose{N: 12000, PRows: 5, PCols: 3, Iterations: iterations}
+}
+
+// Name implements Workload.
+func (t *Transpose) Name() string { return "transpose" }
+
+// Ranks implements Workload.
+func (t *Transpose) Ranks() int { return t.PRows * t.PCols }
+
+// blockBounds returns rank r's row and column ranges.
+func (t *Transpose) blockBounds(r int) (r0, r1, c0, c1 int64) {
+	rb := t.N / int64(t.PRows)
+	cb := t.N / int64(t.PCols)
+	p := int64(r / t.PCols)
+	q := int64(r % t.PCols)
+	return p * rb, (p + 1) * rb, q * cb, (q + 1) * cb
+}
+
+func overlap(a0, a1, b0, b1 int64) int64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// redistSizes computes the all-to-all-v byte counts from rank src: the
+// element at (i,j) moves to (j,i), so src's contribution to dst is the
+// overlap of src's rows with dst's columns times the overlap of src's
+// columns with dst's rows.
+func (t *Transpose) redistSizes(src int) []int64 {
+	sr0, sr1, sc0, sc1 := t.blockBounds(src)
+	sizes := make([]int64, t.Ranks())
+	for d := range sizes {
+		dr0, dr1, dc0, dc1 := t.blockBounds(d)
+		elems := overlap(sr0, sr1, dc0, dc1) * overlap(sc0, sc1, dr0, dr1)
+		sizes[d] = elems * 8
+	}
+	return sizes
+}
+
+// Run implements Workload.
+func (t *Transpose) Run(ctx Ctx) {
+	if ctx.Rank.Size() != t.Ranks() {
+		panic(fmt.Sprintf("workloads: transpose needs %d ranks, world has %d", t.Ranks(), ctx.Rank.Size()))
+	}
+	me := ctx.Rank.ID()
+	r0, r1, c0, c1 := t.blockBounds(me)
+	elems := (r1 - r0) * (c1 - c0)
+	blockBytes := elems * 8
+	sizes := t.redistSizes(me)
+
+	const slices = 8
+	for it := 0; it < t.Iterations; it++ {
+		// Step 1: local transpose — strided, cache-hostile sweeps.
+		for s := 0; s < slices; s++ {
+			ctx.Node.MemoryRounds(ctx.P, elems*3/2/slices)
+			ctx.Node.Compute(ctx.P, float64(elems)*4/slices)
+		}
+
+		// Step 2: block redistribution to transposed owners.
+		ctx.PP.EnterRegion(ctx.P, RegionStep2)
+		ctx.Rank.Alltoallv(ctx.P, sizes)
+		ctx.PP.ExitRegion(ctx.P, RegionStep2)
+
+		// Step 3: assemble the full matrix at the root.
+		ctx.PP.EnterRegion(ctx.P, RegionStep3)
+		ctx.Rank.Gather(ctx.P, 0, blockBytes, nil)
+		ctx.PP.ExitRegion(ctx.P, RegionStep3)
+
+		// Iteration boundary: everyone synchronizes before repeating.
+		ctx.Rank.Barrier(ctx.P)
+	}
+}

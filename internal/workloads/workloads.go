@@ -1,0 +1,47 @@
+// Package workloads implements the applications and microbenchmarks of
+// the paper's evaluation as phase-accurate models: the work (cycles,
+// memory accesses, message volumes) is taken from each benchmark's
+// definition, and executing a workload drives the node cost model and
+// the MPI runtime so time-to-solution and energy emerge from the
+// simulation rather than being scripted.
+//
+// Included:
+//
+//   - NAS FT classes A/B/C (3-D FFT with all-to-all exchange), with the
+//     fft() region marked for dynamic DVS control exactly as the paper
+//     instruments it;
+//   - the 12K×12K parallel matrix transpose on a 5×3 process grid
+//     (block redistribution + gather to root, with its load imbalance);
+//   - sequential models of SPEC CFP2000 swim (memory-bound) and mgrid
+//     (compute-bound), the Figure 1 pair;
+//   - the PowerPack microbenchmarks: memory-bound (32 MB / 128 B
+//     stride), CPU-bound L2 (256 KB / 128 B stride), register-only, and
+//     the two communication ping-pongs of Figure 8.
+package workloads
+
+import (
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/powerpack"
+	"repro/internal/sim"
+)
+
+// Ctx is the per-rank execution context a workload body receives.
+type Ctx struct {
+	P    *sim.Proc
+	Rank *mpi.Rank
+	Node *machine.Node
+	PP   *powerpack.NodeCtx
+}
+
+// Workload is an SPMD program: Run is invoked once per rank with that
+// rank's context. Sequential workloads report Ranks() == 1.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Ranks is the number of MPI ranks (and nodes) the workload needs.
+	Ranks() int
+	// Run executes the body for one rank; it must be safe to call on
+	// fresh cluster state any number of times.
+	Run(ctx Ctx)
+}

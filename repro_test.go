@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Settle = 30 * Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	runner := NewRunner(cfg)
+
+	c, err := runner.Sweep(NewSwim(40), Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Normalized(0)
+	if n.Points[4].Energy >= 1 || n.Points[4].Delay <= 1 {
+		t.Fatalf("600MHz point: %+v", n.Points[4])
+	}
+	if got := n.Points[n.Best(DeltaHPC)].Freq; got != 1000*MHz {
+		t.Fatalf("swim HPC best %v", got)
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if ED2P(2, 2) != 8 {
+		t.Fatal("ED2P")
+	}
+	if math.Abs(WeightedED2P(0.5, 1.2, 0)-ED2P(0.5, 1.2)) > 1e-12 {
+		t.Fatal("WeightedED2P at d=0")
+	}
+	if f := RequiredEnergyFraction(DeltaHPC, 1.05); f <= 0.8 || f >= 0.9 {
+		t.Fatalf("fraction %v", f)
+	}
+}
+
+func TestFacadeHardwareTables(t *testing.T) {
+	tab := PentiumM14()
+	if tab.Len() != 5 || tab.Highest().Freq != 1400*MHz {
+		t.Fatal("Pentium M table")
+	}
+	if Default100Mb().BandwidthBytesPerSec <= 0 {
+		t.Fatal("net config")
+	}
+	if DefaultMPIConfig().EagerThreshold <= 0 {
+		t.Fatal("mpi config")
+	}
+	if DefaultMachineParams().CPUDynAtTop <= 0 {
+		t.Fatal("machine params")
+	}
+}
+
+func TestFacadeWorkloadConstructors(t *testing.T) {
+	ws := []Workload{
+		NewFT('A', 4), NewTranspose(1), NewSwim(1), NewMgrid(1),
+		NewMemBench(1), NewCacheBench(1), NewRegBench(1),
+		NewCommBench256K(1), NewCommBench4K(1),
+		NewEP('A', 4), NewCG('A', 4), NewIS('A', 4), NewMG('A', 4), NewLU('A', 4),
+	}
+	for _, w := range ws {
+		if w.Name() == "" || w.Ranks() < 1 {
+			t.Fatalf("bad workload %T", w)
+		}
+	}
+	if RegionFFT != "fft" || RegionStep2 != "step2" || RegionStep3 != "step3" {
+		t.Fatal("region names")
+	}
+}
+
+func TestFacadeStrategies(t *testing.T) {
+	var s Strategy = Static{}
+	if s.Name() != "static" {
+		t.Fatal("static")
+	}
+	if NewDynamic("fft").Name() != "dynamic" {
+		t.Fatal("dynamic")
+	}
+	if NewCpuspeed().Name() != "cpuspeed" {
+		t.Fatal("cpuspeed")
+	}
+	if NewAdaptive().Name() != "adaptive" {
+		t.Fatal("adaptive")
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	c := Crescendo{Points: []CrescendoPoint{
+		{Label: "fast", Freq: 1400 * MHz, Energy: 100, Delay: 10},
+		{Label: "slow", Freq: 600 * MHz, Energy: 60, Delay: 13},
+	}}
+	if s := Savings(c, 0); len(s) != 2 || s[1].EnergySaved <= 0 {
+		t.Fatalf("savings %+v", s)
+	}
+	if f := ParetoFrontier(c); len(f) != 2 {
+		t.Fatalf("frontier %v", f)
+	}
+	if _, ok := CrossoverDelta(c.Points[0], c.Points[1]); !ok {
+		t.Fatal("crossover")
+	}
+	if ivs := BestByDelta(c, 21); len(ivs) < 2 {
+		t.Fatalf("intervals %+v", ivs)
+	}
+	if picks := PowerCapSchedule([]Crescendo{c}, 8); picks == nil || picks[0].Point != 1 {
+		t.Fatalf("cap picks %+v", picks)
+	}
+	cost := DefaultCostModel()
+	if cost.EnergyCostUSD(3.6e6) <= 0 {
+		t.Fatal("cost")
+	}
+	rel := DefaultReliabilityModel()
+	if rel.ClusterMTBFHours(16, 20) <= 0 || LifeFactor(45, 55) != 2 {
+		t.Fatal("reliability")
+	}
+}
+
+func TestFacadePlatformsAndFabrics(t *testing.T) {
+	if LowPowerMachineParams().Table.Len() != 1 {
+		t.Fatal("low-power params")
+	}
+	if Gigabit().BandwidthBytesPerSec <= Default100Mb().BandwidthBytesPerSec {
+		t.Fatal("gigabit")
+	}
+	if PentiumM14().Subdivide(7).Len() != 7 {
+		t.Fatal("subdivide")
+	}
+	// Tree fabric through a runner config.
+	cfg := DefaultConfig()
+	cfg.Settle = 10 * Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	cfg.Fabric = func(eng *Engine, ports int) Fabric {
+		return NewTree(eng, ports, TreeConfig{
+			Host:                       Default100Mb(),
+			PortsPerEdge:               2,
+			UplinkBandwidthBytesPerSec: 5e6,
+			CoreLatency:                20 * Microsecond,
+		})
+	}
+	ft := NewFT('A', 4)
+	ft.IterOverride = 1
+	res, err := NewRunner(cfg).RunOnce(ft, Static{}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyTrue <= 0 {
+		t.Fatal("tree-fabric run")
+	}
+}
+
+func TestFacadeExtendedWorkloads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Settle = 10 * Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	r := NewRunner(cfg)
+
+	mg := NewMG('A', 4)
+	mg.IterOverride = 1
+	lu := NewLU('A', 4)
+	lu.IterOverride = 1
+	for _, w := range []Workload{mg, lu, NewSumma(1024, 2), NewSynthetic(3, 2, 6, 1)} {
+		res, err := r.RunOnce(w, NewAdaptive(), 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if res.Delay <= 0 {
+			t.Fatalf("%s: no delay", w.Name())
+		}
+	}
+}
+
+func TestFacadeTraceRecording(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Settle = 10 * Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	cfg.TraceInterval = 100 * Millisecond
+	res, err := NewRunner(cfg).RunOnce(NewSwim(20), Static{}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatal("no trace")
+	}
+	if _, err := res.Trace.MeanPower(0, 0, Time(cfg.Settle)); err != nil {
+		t.Fatal(err)
+	}
+}
