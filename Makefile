@@ -1,0 +1,44 @@
+# Build, test, and static-analysis gates. `make ci` is what a CI job runs.
+
+GO      ?= go
+BIN     := bin
+REPOLINT := $(BIN)/repolint
+
+.PHONY: all build test race lint vet vuln ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+$(REPOLINT): $(shell find internal/lint cmd/repolint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+	@mkdir -p $(BIN)
+	$(GO) build -o $(REPOLINT) ./cmd/repolint
+
+# Run the repolint analyzers over the whole module via go vet's vettool
+# protocol (type-checks against export data, caches per package).
+lint: $(REPOLINT)
+	$(GO) vet -vettool=$(CURDIR)/$(REPOLINT) ./...
+
+# Standard go vet, without the custom analyzers.
+vet:
+	$(GO) vet ./...
+
+# Best-effort: govulncheck is not vendored; skip quietly when absent.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
+ci: build lint race vuln
+
+clean:
+	rm -rf $(BIN)

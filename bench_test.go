@@ -21,7 +21,7 @@ func benchRunner() *repro.Runner {
 	cfg.Settle = 30 * repro.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	return repro.NewRunner(cfg)
+	return repro.MustRunner(cfg)
 }
 
 // sweepMetrics reports the 600 MHz point of a normalized crescendo.
@@ -260,7 +260,7 @@ func BenchmarkAblationSpinThreshold(b *testing.B) {
 			cfg.Reps = 1
 			cfg.UseTrueEnergy = true
 			cfg.MPI.SpinThreshold = thr
-			r := repro.NewRunner(cfg)
+			r := repro.MustRunner(cfg)
 			top, err := r.Run(ft, repro.Static{}, 0)
 			if err != nil {
 				b.Fatal(err)
@@ -293,7 +293,7 @@ func BenchmarkAblationEagerThreshold(b *testing.B) {
 			cfg.Reps = 1
 			cfg.UseTrueEnergy = true
 			cfg.MPI.EagerThreshold = thr
-			r := repro.NewRunner(cfg)
+			r := repro.MustRunner(cfg)
 			res, err := r.Run(w, repro.Static{}, 0)
 			if err != nil {
 				b.Fatal(err)
@@ -321,7 +321,7 @@ func BenchmarkAblationTransitionLatency(b *testing.B) {
 			cfg.Reps = 1
 			cfg.UseTrueEnergy = true
 			cfg.Machine.Transition.Latency = lat
-			r := repro.NewRunner(cfg)
+			r := repro.MustRunner(cfg)
 			res, err := r.Run(ft, repro.NewDynamic(repro.RegionFFT), 0)
 			if err != nil {
 				b.Fatal(err)
@@ -344,7 +344,7 @@ func BenchmarkAblationBatteryVsExact(b *testing.B) {
 		for _, iters := range []int{100, 2000} {
 			cfg := repro.DefaultConfig()
 			cfg.Reps = 1
-			r := repro.NewRunner(cfg)
+			r := repro.MustRunner(cfg)
 			res, err := r.RunOnce(repro.NewSwim(iters), repro.Static{}, 0, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -511,7 +511,7 @@ func BenchmarkExtendedLowPowerVsPowerAware(b *testing.B) {
 		cfg.Reps = 1
 		cfg.UseTrueEnergy = true
 		cfg.Machine = repro.LowPowerMachineParams()
-		lp := repro.NewRunner(cfg)
+		lp := repro.MustRunner(cfg)
 		for _, w := range []repro.Workload{ft, ep} {
 			top, err := pa.Run(w, repro.Static{}, 0)
 			if err != nil {
@@ -554,7 +554,7 @@ func BenchmarkAblationGigabit(b *testing.B) {
 			if gig {
 				cfg.Net = repro.Gigabit()
 			}
-			r := repro.NewRunner(cfg)
+			r := repro.MustRunner(cfg)
 			top, err := r.Run(ft, repro.Static{}, 0)
 			if err != nil {
 				b.Fatal(err)
@@ -598,7 +598,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 					})
 				}
 			}
-			r := repro.NewRunner(cfg)
+			r := repro.MustRunner(cfg)
 			top, err := r.Run(ft, repro.Static{}, 0)
 			if err != nil {
 				b.Fatal(err)
@@ -631,9 +631,9 @@ func BenchmarkAblationFinePStates(b *testing.B) {
 			cfg.Reps = 1
 			cfg.UseTrueEnergy = true
 			if fine {
-				cfg.Machine.Table = repro.PentiumM14().Subdivide(9)
+				cfg.Machine.Table = repro.PentiumM14().MustSubdivide(9)
 			}
-			r := repro.NewRunner(cfg)
+			r := repro.MustRunner(cfg)
 			c, err := r.Sweep(repro.NewSwim(30), repro.Static{})
 			if err != nil {
 				b.Fatal(err)

@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -28,7 +27,11 @@ func main() {
 		cfg.Settle = 30 * sim.Second
 		cfg.UseTrueEnergy = true
 	}
-	r := cluster.NewRunner(cfg)
+	r, err := cluster.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
 
 	type job struct {
 		w       workloads.Workload
@@ -76,15 +79,17 @@ func main() {
 			strats = []dvs.Strategy{dvs.Static{}}
 		}
 		for _, s := range strats {
-			wall := time.Now()
 			c, err := r.Sweep(j.w, s)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s/%s: %v\n", j.w.Name(), s.Name(), err)
 				continue
 			}
 			n := c.Normalized(0)
-			fmt.Printf("== %s / %s  (wall %.1fs, sim delay@top %.1fs, E@top %.0fJ)\n",
-				j.w.Name(), s.Name(), time.Since(wall).Seconds(), c.Points[0].Delay, c.Points[0].Energy)
+			// Report simulated time only: calibration output must be
+			// byte-identical across hosts (EXPERIMENTS.md diffs it), so
+			// no wall-clock reads here.
+			fmt.Printf("== %s / %s  (sim delay@top %.1fs, E@top %.0fJ)\n",
+				j.w.Name(), s.Name(), c.Points[0].Delay, c.Points[0].Energy)
 			for i, p := range n.Points {
 				fmt.Printf("   %8s  E=%.3f  D=%.3f\n", c.Points[i].Freq, p.Energy, p.Delay)
 			}

@@ -71,7 +71,12 @@ func main() {
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
-	a := &app{runner: cluster.NewRunner(cfg), out: os.Stdout, quick: *quick, charts: *charts}
+	runner, err := cluster.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+	a := &app{runner: runner, out: os.Stdout, quick: *quick, charts: *charts}
 
 	want := map[string]bool{}
 	if *only != "" {

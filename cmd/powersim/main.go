@@ -143,7 +143,11 @@ func main() {
 	if *traceOut != "" {
 		cfg.TraceInterval = 250 * sim.Millisecond
 	}
-	runner := cluster.NewRunner(cfg)
+	runner, err := cluster.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powersim:", err)
+		os.Exit(1)
+	}
 
 	table := cfg.Machine.Table
 	baseIdx := table.IndexOf(table.ClosestTo(repro.Hz(*mhz) * repro.MHz).Freq)

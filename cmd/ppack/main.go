@@ -39,7 +39,11 @@ func main() {
 	cfg.Reps = 1
 	cfg.Settle = 30 * sim.Second
 	cfg.UseTrueEnergy = true
-	runner := cluster.NewRunner(cfg)
+	runner, err := cluster.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppack:", err)
+		os.Exit(1)
+	}
 	table := cfg.Machine.Table
 
 	found := false

@@ -1,0 +1,252 @@
+// Command repolint runs the repository's analyzer suite (determinism,
+// floateq, unitsafety, panicfree — see internal/lint) in two modes:
+//
+// Standalone, against package patterns, loading and type-checking the
+// module itself:
+//
+//	go run ./cmd/repolint ./...
+//	repolint -only determinism,panicfree ./internal/...
+//
+// And as a vet tool, speaking the go vet driver protocol (the -V=full
+// handshake, the -flags query, and the JSON .cfg package description
+// with pre-built export data), which lets the go tool own package
+// loading, caching, and parallelism:
+//
+//	go build -o bin/repolint ./cmd/repolint
+//	go vet -vettool=bin/repolint ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/repolint"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (go vet handshake)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = usage
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion(*versionFlag)
+		return
+	case *flagsFlag:
+		fmt.Println("[]") // no pass-through flags beyond the handshake
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(1)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], analyzers))
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: repolint [-only a,b] [package pattern ...]\n"+
+		"       go vet -vettool=$(command -v repolint) ./...\n\nanalyzers:\n")
+	for _, a := range repolint.Analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}
+
+// printVersion answers go vet's tool-identity handshake. The go tool
+// folds the line into its build cache key, so it must change when the
+// binary does: we hash the executable itself, as x/tools' unitchecker
+// does.
+func printVersion(mode string) {
+	if mode != "full" {
+		fmt.Fprintf(os.Stderr, "repolint: unsupported -V mode %q\n", mode)
+		os.Exit(1)
+	}
+	progname := filepath.Base(os.Args[0])
+	self, err := os.Open(os.Args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(1)
+	}
+	defer self.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, self); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return repolint.Analyzers, nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a := repolint.ByName(strings.TrimSpace(name))
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runStandalone loads packages with the module-aware loader and runs
+// every analyzer over every package.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, ".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "repolint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
+				return 1
+			}
+			for _, d := range pass.Diagnostics() {
+				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d diagnostic(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON package description the go vet driver hands to
+// a -vettool for each package unit (see x/tools unitchecker for the
+// reference decoder of the same schema).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes the single package unit described by cfgFile,
+// type-checking against the export data the go tool already built.
+func runVetUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The driver always expects the facts output file; the suite uses
+	// no cross-package facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited only for facts, of which we have none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	// Test variants arrive as "path [path.test]"; analyzers scope by
+	// the real import path.
+	importPath := cfg.ImportPath
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	info := loader.NewInfo()
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "repolint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	found := 0
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, tpkg, info)
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %s: %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+		for _, d := range pass.Diagnostics() {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}

@@ -66,7 +66,12 @@ func main() {
 	cfg.Reps = 1
 	cfg.Settle = 30 * sim.Second
 	cfg.UseTrueEnergy = true
-	s := &suite{runner: cluster.NewRunner(cfg)}
+	runner, err := cluster.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	s := &suite{runner: runner}
 	size := func(quick, fullN int) int {
 		if *full {
 			return fullN

@@ -48,7 +48,7 @@ func ExampleRunner_Sweep() {
 	cfg.Settle = 30 * repro.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	runner := repro.NewRunner(cfg)
+	runner := repro.MustRunner(cfg)
 
 	c, err := runner.Sweep(repro.NewMemBench(40), repro.Static{})
 	if err != nil {

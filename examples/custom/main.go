@@ -96,7 +96,10 @@ func main() {
 	cfg.Settle = 30 * repro.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	runner := repro.NewRunner(cfg)
+	runner, err := repro.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	w := &stencil{cells: 8 << 20, iters: 10, ranks: 8}
 

@@ -17,7 +17,10 @@ func main() {
 	cfg.Settle = 30 * repro.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	runner := repro.NewRunner(cfg)
+	runner, err := repro.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ft := repro.NewFT('B', 8)
 	ft.IterOverride = 4

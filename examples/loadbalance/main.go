@@ -18,7 +18,10 @@ func main() {
 	cfg.Settle = 30 * repro.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	runner := repro.NewRunner(cfg)
+	runner, err := repro.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tr := repro.NewTranspose(1)
 

@@ -19,7 +19,10 @@ func main() {
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
 
-	runner := repro.NewRunner(cfg)
+	runner, err := repro.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ft := repro.NewFT('B', 8)
 	ft.IterOverride = 4 // a few iterations are enough for stable ratios

@@ -102,7 +102,7 @@ type DeltaInterval struct {
 // resolution (number of samples ≥ 2).
 func BestByDelta(c core.Crescendo, samples int) []DeltaInterval {
 	if samples < 2 {
-		panic("analysis: need at least 2 samples")
+		panic("analysis: need at least 2 samples") //lint:allow panicfree (metric-domain validation; callers pass validated curves)
 	}
 	var out []DeltaInterval
 	var cur *DeltaInterval
@@ -151,7 +151,7 @@ func (m CostModel) EnergyCostUSD(joules float64) float64 {
 // operation: the run consumed joules over seconds of wall time.
 func (m CostModel) AnnualCostUSD(joules, seconds float64) float64 {
 	if seconds <= 0 {
-		panic(fmt.Sprintf("analysis: non-positive duration %v", seconds))
+		panic(fmt.Sprintf("analysis: non-positive duration %v", seconds)) //lint:allow panicfree (metric-domain validation; callers pass validated curves)
 	}
 	const yearSeconds = 365.25 * 24 * 3600
 	return m.EnergyCostUSD(joules / seconds * yearSeconds)
@@ -213,7 +213,7 @@ func (m ReliabilityModel) AnnualFailureRate(watts float64) float64 {
 // independent exponential failures.
 func (m ReliabilityModel) ClusterMTBFHours(nodes int, watts float64) float64 {
 	if nodes <= 0 {
-		panic("analysis: non-positive node count")
+		panic("analysis: non-positive node count") //lint:allow panicfree (metric-domain validation; callers pass validated curves)
 	}
 	perNodePerHour := m.AnnualFailureRate(watts) / (365.25 * 24)
 	return 1 / (perNodePerHour * float64(nodes))

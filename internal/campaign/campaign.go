@@ -274,7 +274,10 @@ func (s *Spec) points(table dvfs.Table) ([]int, error) {
 // progress, if non-nil, receives a line per completed cell.
 func Run(s *Spec, progress func(string)) ([]Result, error) {
 	cfg := s.config()
-	runner := cluster.NewRunner(cfg)
+	runner, err := cluster.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
 	idxs, err := s.points(cfg.Machine.Table)
 	if err != nil {
 		return nil, err

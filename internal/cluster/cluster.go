@@ -157,13 +157,23 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// NewRunner returns a runner for the configuration; it panics on an
-// invalid configuration, which is a programming error.
-func NewRunner(cfg Config) *Runner {
+// NewRunner returns a runner for the configuration, or an error if the
+// configuration fails Validate.
+func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// MustRunner is NewRunner for configurations known good at compile time
+// (DefaultConfig and friends); it panics on an invalid configuration.
+func MustRunner(cfg Config) *Runner {
+	r, err := NewRunner(cfg)
+	if err != nil {
 		panic(err)
 	}
-	return &Runner{cfg: cfg}
+	return r
 }
 
 // Config returns the runner's configuration.

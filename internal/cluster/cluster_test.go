@@ -23,7 +23,7 @@ func quickConfig() Config {
 }
 
 func TestRunOnceBasics(t *testing.T) {
-	r := NewRunner(quickConfig())
+	r := MustRunner(quickConfig())
 	res, err := r.RunOnce(workloads.NewSwim(50), dvs.Static{}, 0, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +62,7 @@ func TestRunOnceMeasuredVsTrueEnergy(t *testing.T) {
 	// Baytech cross-check agree — the paper's instrument redundancy.
 	cfg := DefaultConfig()
 	cfg.Reps = 1
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 	res, err := r.RunOnce(workloads.NewSwim(3000), dvs.Static{}, 0, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestRunOnceMeasuredVsTrueEnergy(t *testing.T) {
 }
 
 func TestRunOnceStaticPinsFrequency(t *testing.T) {
-	r := NewRunner(quickConfig())
+	r := MustRunner(quickConfig())
 	res, err := r.RunOnce(workloads.NewSwim(20), dvs.Static{}, 4, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestRunOnceStaticPinsFrequency(t *testing.T) {
 }
 
 func TestRunOnceBadBaseIndex(t *testing.T) {
-	r := NewRunner(quickConfig())
+	r := MustRunner(quickConfig())
 	if _, err := r.RunOnce(workloads.NewSwim(1), dvs.Static{}, 99, 1); err == nil {
 		t.Fatal("expected error")
 	}
@@ -106,7 +106,7 @@ func TestRunOnceBadBaseIndex(t *testing.T) {
 func TestRunOnceTimeout(t *testing.T) {
 	cfg := quickConfig()
 	cfg.MaxSimTime = 40 * sim.Second // settle is 30s; workload won't fit
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 	_, err := r.RunOnce(workloads.NewSwim(2000), dvs.Static{}, 0, 1)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v", err)
@@ -116,7 +116,7 @@ func TestRunOnceTimeout(t *testing.T) {
 func TestRunRepetitionsAndDeterminism(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Reps = 3
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 	a, err := r.Run(workloads.NewSwim(30), dvs.Static{}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -140,7 +140,7 @@ func TestRunRepetitionsAndDeterminism(t *testing.T) {
 }
 
 func TestSweepShape(t *testing.T) {
-	r := NewRunner(quickConfig())
+	r := MustRunner(quickConfig())
 	c, err := r.Sweep(workloads.NewMemBench(30), dvs.Static{})
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +157,7 @@ func TestSweepShape(t *testing.T) {
 }
 
 func TestDynamicStrategyReducesRegionFrequency(t *testing.T) {
-	r := NewRunner(quickConfig())
+	r := MustRunner(quickConfig())
 	ft := workloads.NewFT('A', 4)
 	ft.IterOverride = 1
 	res, err := r.RunOnce(ft, dvs.NewDynamic(workloads.RegionFFT), 0, 1)
@@ -184,7 +184,7 @@ func TestDynamicStrategyReducesRegionFrequency(t *testing.T) {
 }
 
 func TestCpuspeedRunLabel(t *testing.T) {
-	r := NewRunner(quickConfig())
+	r := MustRunner(quickConfig())
 	pt, err := r.RunCpuspeed(workloads.NewSwim(20), dvs.NewCpuspeed())
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +203,7 @@ func TestBatteryProtocolReadings(t *testing.T) {
 	cfg := quickConfig()
 	cfg.UseTrueEnergy = false
 	cfg.Settle = sim.Minute
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 	res, err := r.RunOnce(workloads.NewSwim(800), dvs.Static{}, 0, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -241,18 +241,18 @@ func TestConfigValidate(t *testing.T) {
 	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewRunner must panic on invalid config")
+			t.Fatal("MustRunner must panic on invalid config")
 		}
 	}()
 	bad := quickConfig()
 	bad.BatteryCapacityMWh = -1
-	NewRunner(bad)
+	MustRunner(bad)
 }
 
 func TestBatteryExhaustionFlag(t *testing.T) {
 	cfg := quickConfig()
 	cfg.BatteryCapacityMWh = 3 // ~11 J: dead in under a second
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 	res, err := r.RunOnce(workloads.NewSwim(50), dvs.Static{}, 0, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +261,7 @@ func TestBatteryExhaustionFlag(t *testing.T) {
 		t.Fatal("exhaustion not flagged")
 	}
 	// A healthy run is not flagged.
-	res2, err := NewRunner(quickConfig()).RunOnce(workloads.NewSwim(50), dvs.Static{}, 0, 1)
+	res2, err := MustRunner(quickConfig()).RunOnce(workloads.NewSwim(50), dvs.Static{}, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

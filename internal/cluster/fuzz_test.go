@@ -20,7 +20,7 @@ func TestFuzzSyntheticWorkloads(t *testing.T) {
 	cfg.Settle = 10 * sim.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 
 	for seed := int64(1); seed <= 12; seed++ {
 		procs := int(seed%4) + 1 // 1..4 ranks
@@ -81,7 +81,7 @@ func TestFuzzSyntheticUnderEveryStrategy(t *testing.T) {
 	cfg.Settle = 10 * sim.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 
 	strategies := []dvs.Strategy{
 		dvs.Static{},

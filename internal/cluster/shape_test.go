@@ -24,7 +24,7 @@ func shapeRunner() *Runner {
 	cfg.Settle = 30 * sim.Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	return NewRunner(cfg)
+	return MustRunner(cfg)
 }
 
 func sweep(t *testing.T, w workloads.Workload, strat dvs.Strategy) core.Crescendo {

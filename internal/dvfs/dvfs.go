@@ -8,6 +8,7 @@
 package dvfs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -73,32 +74,53 @@ type Table struct {
 	points []OperatingPoint
 }
 
+// FreqTolerance is the granularity at which two frequencies count as
+// the same operating point: 1 kHz. Table frequencies are integer Hz
+// (exact, no floating-point keys), but governors and Subdivide derive
+// frequencies by division, so lookups and duplicate detection key on
+// kHz rather than demanding bit-exact Hz.
+const FreqTolerance = KHz
+
+// SameFreq reports whether a and b denote the same operating frequency,
+// i.e. differ by less than FreqTolerance.
+func SameFreq(a, b Hz) bool { return absHz(a-b) < FreqTolerance }
+
 // NewTable builds a table from points, sorting them from highest to
-// lowest frequency. It panics on an empty list, duplicate frequencies,
-// or non-positive frequency/voltage, since a malformed table is a
-// configuration bug.
-func NewTable(points []OperatingPoint) Table {
+// lowest frequency. It rejects an empty list, duplicate frequencies
+// (within FreqTolerance), and non-positive frequency/voltage, since a
+// malformed table is a configuration bug.
+func NewTable(points []OperatingPoint) (Table, error) {
 	if len(points) == 0 {
-		panic("dvfs: empty operating-point table")
+		return Table{}, errors.New("dvfs: empty operating-point table")
 	}
 	sorted := make([]OperatingPoint, len(points))
 	copy(sorted, points)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Freq > sorted[j].Freq })
 	for i, op := range sorted {
 		if op.Freq <= 0 || op.Voltage <= 0 {
-			panic(fmt.Sprintf("dvfs: invalid operating point %v", op))
+			return Table{}, fmt.Errorf("dvfs: invalid operating point %v", op)
 		}
-		if i > 0 && sorted[i-1].Freq == op.Freq {
-			panic(fmt.Sprintf("dvfs: duplicate frequency %v", op.Freq))
+		if i > 0 && SameFreq(sorted[i-1].Freq, op.Freq) {
+			return Table{}, fmt.Errorf("dvfs: duplicate frequency %v", op.Freq)
 		}
 	}
-	return Table{points: sorted}
+	return Table{points: sorted}, nil
+}
+
+// MustTable is NewTable for known-good literal tables (the hardware
+// tables compiled into the binary); it panics on a malformed table.
+func MustTable(points []OperatingPoint) Table {
+	t, err := NewTable(points)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // PentiumM14 returns the five SpeedStep operating points of the paper's
 // Table 2 for the Pentium M 1.4 GHz.
 func PentiumM14() Table {
-	return NewTable([]OperatingPoint{
+	return MustTable([]OperatingPoint{
 		{Freq: 1400 * MHz, Voltage: 1.484},
 		{Freq: 1200 * MHz, Voltage: 1.436},
 		{Freq: 1000 * MHz, Voltage: 1.308},
@@ -126,18 +148,19 @@ func (t Table) Highest() OperatingPoint { return t.points[0] }
 // Lowest returns the slowest operating point.
 func (t Table) Lowest() OperatingPoint { return t.points[len(t.points)-1] }
 
-// IndexOf returns the index of the point with exactly freq, or -1.
+// IndexOf returns the index of the point whose frequency matches freq
+// within FreqTolerance, or -1.
 func (t Table) IndexOf(freq Hz) int {
 	for i, op := range t.points {
-		if op.Freq == freq {
+		if SameFreq(op.Freq, freq) {
 			return i
 		}
 	}
 	return -1
 }
 
-// ByFreq returns the operating point with exactly freq. ok is false if
-// the table has no such point.
+// ByFreq returns the operating point matching freq within
+// FreqTolerance. ok is false if the table has no such point.
 func (t Table) ByFreq(freq Hz) (op OperatingPoint, ok bool) {
 	if i := t.IndexOf(freq); i >= 0 {
 		return t.points[i], true
@@ -230,10 +253,11 @@ func (t Table) VoltageAt(freq Hz) float64 {
 // Subdivide builds a finer table by inserting steps evenly-spaced
 // points between the table's extremes, with voltages interpolated from
 // the original curve. It models a processor exposing more P-states
-// than the Pentium M's five.
-func (t Table) Subdivide(steps int) Table {
+// than the Pentium M's five. It fails if steps < 2 or the derived
+// points collapse onto each other (extremes closer than FreqTolerance).
+func (t Table) Subdivide(steps int) (Table, error) {
 	if steps < 2 {
-		panic("dvfs: Subdivide needs at least 2 steps")
+		return Table{}, fmt.Errorf("dvfs: Subdivide needs at least 2 steps, got %d", steps)
 	}
 	top := t.Highest().Freq
 	bottom := t.Lowest().Freq
@@ -243,4 +267,14 @@ func (t Table) Subdivide(steps int) Table {
 		pts[i] = OperatingPoint{Freq: f, Voltage: t.VoltageAt(f)}
 	}
 	return NewTable(pts)
+}
+
+// MustSubdivide is Subdivide for known-good step counts; it panics on
+// error.
+func (t Table) MustSubdivide(steps int) Table {
+	sub, err := t.Subdivide(steps)
+	if err != nil {
+		panic(err)
+	}
+	return sub
 }

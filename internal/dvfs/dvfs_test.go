@@ -56,30 +56,37 @@ func TestPentiumM14Table(t *testing.T) {
 }
 
 func TestNewTableSortsAndValidates(t *testing.T) {
-	tab := NewTable([]OperatingPoint{
+	tab, err := NewTable([]OperatingPoint{
 		{Freq: 600 * MHz, Voltage: 1.0},
 		{Freq: 1400 * MHz, Voltage: 1.5},
 		{Freq: 1000 * MHz, Voltage: 1.2},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tab.At(0).Freq != 1400*MHz || tab.At(2).Freq != 600*MHz {
 		t.Fatalf("not sorted: %v", tab.Points())
 	}
-	mustPanic := func(name string, fn func()) {
+	mustErr := func(name string, pts []OperatingPoint) {
 		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		fn()
+		if _, err := NewTable(pts); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
-	mustPanic("empty", func() { NewTable(nil) })
-	mustPanic("dup freq", func() {
-		NewTable([]OperatingPoint{{Freq: GHz, Voltage: 1}, {Freq: GHz, Voltage: 1.1}})
-	})
-	mustPanic("zero voltage", func() {
-		NewTable([]OperatingPoint{{Freq: GHz, Voltage: 0}})
-	})
+	mustErr("empty", nil)
+	mustErr("dup freq", []OperatingPoint{{Freq: GHz, Voltage: 1}, {Freq: GHz, Voltage: 1.1}})
+	mustErr("near-dup freq", []OperatingPoint{
+		{Freq: GHz, Voltage: 1}, {Freq: GHz + FreqTolerance/2, Voltage: 1.1}})
+	mustErr("zero voltage", []OperatingPoint{{Freq: GHz, Voltage: 0}})
+}
+
+func TestMustTablePanicsOnBadTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustTable(nil)
 }
 
 func TestPointsReturnsCopy(t *testing.T) {
@@ -202,7 +209,10 @@ func TestVoltageAt(t *testing.T) {
 }
 
 func TestSubdivide(t *testing.T) {
-	tab := PentiumM14().Subdivide(9)
+	tab, err := PentiumM14().Subdivide(9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tab.Len() != 9 {
 		t.Fatalf("Len = %d", tab.Len())
 	}
@@ -215,10 +225,7 @@ func TestSubdivide(t *testing.T) {
 			t.Fatalf("voltage not decreasing at %d", i)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	PentiumM14().Subdivide(1)
+	if _, err := PentiumM14().Subdivide(1); err == nil {
+		t.Fatal("expected error for 1 step")
+	}
 }

@@ -72,7 +72,7 @@ type adaptivePolicy struct {
 // Install implements Strategy.
 func (a *Adaptive) Install(ctx InstallCtx) powerpack.RegionPolicy {
 	for _, n := range ctx.Nodes {
-		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+		mustSetOPAsync(n, ctx.BaseIdx)
 	}
 	return &adaptivePolicy{
 		a:       a,
@@ -107,7 +107,7 @@ func (ap *adaptivePolicy) OnEnter(p *sim.Proc, n *machine.Node, region string) {
 	}
 	st.entryIdx = target
 	if target != n.OPIndex() {
-		n.SetOperatingPointIndex(p, target)
+		mustSetOP(p, n, target)
 	}
 	st.entryTime = p.Now()
 	st.entryEnergy = n.EnergyAt(p.Now())
@@ -116,7 +116,7 @@ func (ap *adaptivePolicy) OnEnter(p *sim.Proc, n *machine.Node, region string) {
 // OnExit implements powerpack.RegionPolicy.
 func (ap *adaptivePolicy) OnExit(p *sim.Proc, n *machine.Node, region string) {
 	if ap.depth[n.ID()] == 0 {
-		panic("dvs: adaptive region exit without enter")
+		panic("dvs: adaptive region exit without enter") //lint:allow panicfree (region-nesting invariant; unbalanced Enter/Exit is a workload bug)
 	}
 	ap.depth[n.ID()]--
 	if ap.depth[n.ID()] != 0 {
@@ -145,7 +145,7 @@ func (ap *adaptivePolicy) OnExit(p *sim.Proc, n *machine.Node, region string) {
 		}
 	}
 	if n.OPIndex() != ap.baseIdx {
-		n.SetOperatingPointIndex(p, ap.baseIdx)
+		mustSetOP(p, n, ap.baseIdx)
 	}
 }
 

@@ -46,7 +46,7 @@ func (*Cpuspeed) Name() string { return "cpuspeed" }
 // nodes start at the highest point, as after boot.
 func (c *Cpuspeed) Install(ctx InstallCtx) powerpack.RegionPolicy {
 	if c.Interval <= 0 {
-		panic("dvs: Cpuspeed with non-positive interval")
+		panic("dvs: Cpuspeed with non-positive interval") //lint:allow panicfree (Install misuse is a programming error caught at startup)
 	}
 	for _, n := range ctx.Nodes {
 		n := n
@@ -77,11 +77,11 @@ func (c *Cpuspeed) daemon(p *sim.Proc, n *machine.Node, done func() bool) {
 		switch {
 		case util >= c.RaiseBusy:
 			if n.OPIndex() != 0 {
-				n.SetOperatingPointIndex(p, 0)
+				mustSetOP(p, n, 0)
 			}
 		case util <= c.LowerBusy:
 			if next := table.StepDown(n.OPIndex()); next != n.OPIndex() {
-				n.SetOperatingPointIndex(p, next)
+				mustSetOP(p, n, next)
 			}
 		}
 	}

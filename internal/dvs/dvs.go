@@ -30,6 +30,23 @@ type InstallCtx struct {
 	Done func() bool
 }
 
+// mustSetOP asserts a blocking operating-point switch succeeds.
+// Strategies compute indices from the table itself (StepUp/StepDown
+// clamp, BaseIdx comes from the sweep), so a failure is a strategy bug
+// and fails fast rather than silently running at the wrong frequency.
+func mustSetOP(p *sim.Proc, n *machine.Node, idx int) {
+	if err := n.SetOperatingPointIndex(p, idx); err != nil {
+		panic(err)
+	}
+}
+
+// mustSetOPAsync is mustSetOP for event-context (timer daemon) switches.
+func mustSetOPAsync(n *machine.Node, idx int) {
+	if err := n.SetOperatingPointIndexAsync(idx); err != nil {
+		panic(err)
+	}
+}
+
 // Strategy is one distributed DVS policy.
 type Strategy interface {
 	// Name identifies the strategy in reports ("cpuspeed", "static",
@@ -52,7 +69,7 @@ func (Static) Name() string { return "static" }
 // Install implements Strategy.
 func (Static) Install(ctx InstallCtx) powerpack.RegionPolicy {
 	for _, n := range ctx.Nodes {
-		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+		mustSetOPAsync(n, ctx.BaseIdx)
 	}
 	return nil
 }
@@ -89,12 +106,12 @@ type dynamicPolicy struct {
 // Install implements Strategy.
 func (d *Dynamic) Install(ctx InstallCtx) powerpack.RegionPolicy {
 	for _, n := range ctx.Nodes {
-		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+		mustSetOPAsync(n, ctx.BaseIdx)
 	}
 	target := d.TargetIdx
 	if target < 0 {
 		if len(ctx.Nodes) == 0 {
-			panic("dvs: Dynamic.Install with no nodes")
+			panic("dvs: Dynamic.Install with no nodes") //lint:allow panicfree (Install misuse is a programming error caught at startup)
 		}
 		target = ctx.Nodes[0].Params().Table.Len() - 1
 	}
@@ -120,7 +137,7 @@ func (dp *dynamicPolicy) OnEnter(p *sim.Proc, n *machine.Node, region string) {
 	}
 	dp.depth[n.ID()]++
 	if dp.depth[n.ID()] == 1 {
-		n.SetOperatingPointIndex(p, dp.target)
+		mustSetOP(p, n, dp.target)
 	}
 }
 
@@ -130,10 +147,10 @@ func (dp *dynamicPolicy) OnExit(p *sim.Proc, n *machine.Node, region string) {
 		return
 	}
 	if dp.depth[n.ID()] == 0 {
-		panic(fmt.Sprintf("dvs: region %q exit without enter on node %d", region, n.ID()))
+		panic(fmt.Sprintf("dvs: region %q exit without enter on node %d", region, n.ID())) //lint:allow panicfree (region-nesting invariant; unbalanced Enter/Exit is a workload bug)
 	}
 	dp.depth[n.ID()]--
 	if dp.depth[n.ID()] == 0 {
-		n.SetOperatingPointIndex(p, dp.baseIdx)
+		mustSetOP(p, n, dp.baseIdx)
 	}
 }

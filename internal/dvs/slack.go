@@ -47,11 +47,11 @@ func (*Slack) Name() string { return "slack" }
 // from the base operating point.
 func (g *Slack) Install(ctx InstallCtx) powerpack.RegionPolicy {
 	if g.Interval <= 0 {
-		panic("dvs: Slack with non-positive interval")
+		panic("dvs: Slack with non-positive interval") //lint:allow panicfree (Install misuse is a programming error caught at startup)
 	}
 	for _, n := range ctx.Nodes {
 		n := n
-		n.SetOperatingPointIndexAsync(ctx.BaseIdx)
+		mustSetOPAsync(n, ctx.BaseIdx)
 		ctx.Eng.Spawn(fmt.Sprintf("slack%d", n.ID()), func(p *sim.Proc) {
 			g.daemon(p, n, ctx.BaseIdx, ctx.Done)
 		})
@@ -76,12 +76,12 @@ func (g *Slack) daemon(p *sim.Proc, n *machine.Node, baseIdx int, done func() bo
 		switch {
 		case frac >= g.DownWaitFrac:
 			if next := table.StepDown(n.OPIndex()); next != n.OPIndex() {
-				n.SetOperatingPointIndex(p, next)
+				mustSetOP(p, n, next)
 			}
 		case frac <= g.UpWaitFrac:
 			// Never exceed the experiment's base operating point.
 			if next := table.StepUp(n.OPIndex()); next >= baseIdx && next != n.OPIndex() {
-				n.SetOperatingPointIndex(p, next)
+				mustSetOP(p, n, next)
 			}
 		}
 	}

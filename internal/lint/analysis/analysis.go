@@ -1,0 +1,221 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package at a time through a Pass and reports
+// position-anchored Diagnostics.
+//
+// The repository must build offline with the standard library only, so
+// we cannot vendor x/tools; this package provides the same architecture
+// (analyzers are plain values, drivers decide how packages are loaded)
+// with the two features the repolint suite needs on top: a shared
+// suppression convention ("//lint:allow <analyzer>" on the offending
+// line or the line above) and a tiny set of type-resolution helpers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name>" suppression comments. It must be a valid
+	// Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by repolint -help.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass connects an Analyzer to the single package being analyzed.
+// Drivers populate every field; analyzers only read them and call
+// Report/Reportf.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File // syntax trees, with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	allow       suppressions
+}
+
+// NewPass builds a Pass and indexes the files' "//lint:allow" comments
+// so Reportf can drop suppressed diagnostics.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		allow:     indexSuppressions(fset, files),
+	}
+}
+
+// Reportf records a diagnostic at pos unless a "//lint:allow" comment
+// naming this analyzer covers the position's line (or the line above,
+// for suppressions written on their own line).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allow.covers(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, in source order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	out := make([]Diagnostic, len(p.diagnostics))
+	copy(out, p.diagnostics)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// suppressions maps file name -> line -> analyzer names allowed there.
+type suppressions map[string]map[int][]string
+
+const allowMarker = "lint:allow"
+
+// indexSuppressions scans every comment for the allow marker. The
+// accepted forms are
+//
+//	expr // lint:allow floateq
+//	//lint:allow panicfree (kernel invariant)
+//	//lint:allow determinism,floateq
+//
+// i.e. the marker followed by a comma-separated analyzer list; anything
+// after the list (a parenthesized reason, prose) is ignored.
+func indexSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, allowMarker)
+				if i < 0 {
+					continue
+				}
+				rest := strings.TrimSpace(text[i+len(allowMarker):])
+				names := strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == '\t' || r == '('
+				})
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(names[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						lines[pos.Line] = append(lines[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether analyzer name is allowed at pos: a suppression
+// on the same line, or on the line directly above (a comment on its own
+// line applying to the statement below).
+func (s suppressions) covers(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	lines := s[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[line] {
+			if n == name || n == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The repolint analyzers police production code only; tests may
+// panic, compare floats from golden values, and seed randomness freely.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// UsedPackage resolves a selector expression like time.Now to the
+// import path of the package qualifier ("time") if the expression's X
+// really is a package name (not a shadowing variable). ok is false for
+// field/method selections.
+func UsedPackage(info *types.Info, sel *ast.SelectorExpr) (path string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// IsPackageFunc reports whether call's callee is the package-level
+// function pkgPath.name (e.g. "time".Now).
+func IsPackageFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	path, ok := UsedPackage(info, sel)
+	return ok && path == pkgPath
+}
+
+// WalkFuncs invokes fn for every function body in the files, passing
+// the enclosing declaration's name ("" for package-level variable
+// initializers). Function literals are visited as part of the function
+// that lexically encloses them, so a panic inside a closure inside
+// MustX is still attributed to MustX.
+func WalkFuncs(files []*ast.File, fn func(name string, body ast.Node)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Name.Name, d.Body)
+				}
+			case *ast.GenDecl:
+				// var initializers can contain function literals
+				// and even direct calls; attribute them to "".
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							fn("", v)
+						}
+					}
+				}
+			}
+		}
+	}
+}

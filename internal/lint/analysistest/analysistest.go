@@ -1,0 +1,209 @@
+// Package analysistest runs an analyzer over golden fixture packages
+// and checks its diagnostics against "// want" expectations embedded in
+// the fixture source, mirroring the x/tools package of the same name.
+//
+// Fixtures live in GOPATH-style layout under a testdata directory:
+//
+//	testdata/src/<import/path>/<files>.go
+//
+// and each line that should trigger a diagnostic carries a comment of
+// one or more quoted regular expressions:
+//
+//	wall := time.Now() // want `time\.Now`
+//
+// Every diagnostic must match a want on its exact file and line, and
+// every want must be matched by exactly one diagnostic; either kind of
+// mismatch fails the test. A fixture line whose diagnostic is
+// suppressed by //lint:allow simply carries no want comment — if the
+// suppression were to stop working, the unexpected diagnostic fails
+// the test, which is how the escape hatch itself stays tested.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Run loads each fixture package from dir/src/<path>, applies the
+// analyzer, and reports expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		runOne(t, dir, a, path)
+	}
+}
+
+// TestData returns the absolute path of the testdata directory of the
+// caller's package, following the x/tools convention.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{root: filepath.Join(dir, "src"), fset: fset, loaded: make(map[string]*types.Package)}
+	files, tpkg, info, err := ld.loadDir(pkgPath)
+	if err != nil {
+		t.Fatalf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+	}
+
+	pass := analysis.NewPass(a, fset, files, tpkg, info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, pkgPath, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range pass.Diagnostics() {
+		p := fset.Position(d.Pos)
+		if !wants.match(p.Filename, p.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, p.Filename, p.Line, d.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none",
+			a.Name, w.re.String(), w.file, w.line)
+	}
+}
+
+// fixtureLoader parses and type-checks fixture packages, resolving
+// imports first against the fixture tree and then the standard library.
+type fixtureLoader struct {
+	root   string
+	fset   *token.FileSet
+	loaded map[string]*types.Package
+	std    types.Importer
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	if st, err := os.Stat(filepath.Join(ld.root, path)); err == nil && st.IsDir() {
+		_, tpkg, _, err := ld.loadDir(path)
+		return tpkg, err
+	}
+	if ld.std == nil {
+		ld.std = importer.Default()
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *fixtureLoader) loadDir(pkgPath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(ld.root, pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking: %v", err)
+	}
+	ld.loaded[pkgPath] = tpkg
+	return files, tpkg, info, nil
+}
+
+// want is one expectation: a regexp that must match a diagnostic on a
+// specific line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE matches one Go string literal, double-quoted or backquoted.
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					ws.wants = append(ws.wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func (ws *wantSet) match(file string, line int, message string) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}

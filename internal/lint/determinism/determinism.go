@@ -1,0 +1,125 @@
+// Package determinism defines an analyzer that keeps the simulator's
+// core packages bit-deterministic: every run of the model must produce
+// identical tables and figures regardless of host, wall-clock time, or
+// environment. Wall-clock reads, the globally-seeded math/rand
+// top-level functions, and environment lookups are all banned inside
+// the simulation packages; randomness must flow through an explicitly
+// seeded *rand.Rand carried in configuration.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags nondeterminism sources in the simulator packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, global math/rand, and environment reads " +
+		"in the deterministic simulator packages (internal/sim, machine, " +
+		"cluster, dvs, dvfs, workloads); use the sim clock and a seeded *rand.Rand",
+	Run: run,
+}
+
+// restricted lists the package-path roots the analyzer applies to. The
+// simulation kernel and everything whose behaviour feeds the paper's
+// tables must be reproducible; cmd/ front-ends may read flags and
+// report wall time about themselves.
+var restricted = []string{
+	"repro/internal/sim",
+	"repro/internal/machine",
+	"repro/internal/cluster",
+	"repro/internal/dvs",
+	"repro/internal/dvfs",
+	"repro/internal/workloads",
+}
+
+// forbidden maps import path -> function name -> replacement advice.
+// For math/rand only the constructors that take an explicit source are
+// permitted; every top-level convenience function draws from the
+// process-global generator.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":       "use the sim clock (sim.Engine.Now)",
+		"Since":     "use sim.Time.Sub on simulated instants",
+		"Until":     "use sim.Time.Sub on simulated instants",
+		"Sleep":     "use sim.Proc.Sleep",
+		"After":     "use sim.Engine.After",
+		"AfterFunc": "use sim.Engine.After",
+		"Tick":      "use a sim.Engine timer process",
+		"NewTimer":  "use a sim.Engine timer process",
+		"NewTicker": "use a sim.Engine timer process",
+	},
+	"os": {
+		"Getenv":    "thread configuration through Params/Config structs",
+		"LookupEnv": "thread configuration through Params/Config structs",
+		"Environ":   "thread configuration through Params/Config structs",
+	},
+}
+
+// randAllowed lists the math/rand package-level functions that remain
+// legal: constructors for explicitly seeded generators.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inRestricted(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := analysis.UsedPackage(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case forbidden[path][name] != "":
+				pass.Reportf(sel.Pos(), "nondeterministic %s.%s in simulator package %s; %s",
+					path, name, pass.Pkg.Path(), forbidden[path][name])
+			case isGlobalRand(path, name) && isFunc(pass, sel):
+				pass.Reportf(sel.Pos(), "globally-seeded %s.%s in simulator package %s; "+
+					"draw from a seeded *rand.Rand carried in the workload/cluster config",
+					path, name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inRestricted(path string) bool {
+	for _, r := range restricted {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func isGlobalRand(path, name string) bool {
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	return !randAllowed[name] && !strings.HasPrefix(name, "New")
+}
+
+// isFunc reports whether the selector denotes a package-level function
+// (as opposed to a type like rand.Rand or a constant like rand.Int63Max).
+func isFunc(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	_, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok
+}

@@ -1,0 +1,20 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, determinism.Analyzer,
+		"repro/internal/sim/fixture", // restricted path: all wants fire
+		"fixtures/determinism/free",  // unrestricted path: silent
+	)
+}

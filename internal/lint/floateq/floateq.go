@@ -1,0 +1,83 @@
+// Package floateq defines an analyzer that flags exact == and !=
+// comparisons between floating-point operands. Energies, delays, and
+// voltages in this repository are accumulated through long chains of
+// floating-point arithmetic; exact equality on such values silently
+// depends on evaluation order and FMA contraction and is exactly the
+// kind of bug that corrupts an operating-point selection without
+// failing a test.
+//
+// Comparisons are permitted when
+//   - one operand is the constant zero (the "is it set / guard the
+//     division" idiom, which is exact in IEEE 754),
+//   - both operands are compile-time constants,
+//   - the comparison is inside an epsilon-helper function whose name
+//     says so (approxEqual, AlmostEq, withinEps, nearlyEqual, ...), or
+//   - the line carries "//lint:allow floateq".
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags exact floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "forbid exact ==/!= between floating-point operands outside " +
+		"epsilon-helper functions; compare with an epsilon helper or " +
+		"suppress with //lint:allow floateq",
+	Run: run,
+}
+
+// epsilonHelper matches the names of functions that exist to implement
+// tolerant comparison; the raw comparison they contain is their job.
+var epsilonHelper = regexp.MustCompile(`(?i)^(approx|almost|near|within|close|floateq|epsEq)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		analysis.WalkFuncs([]*ast.File{f}, func(name string, body ast.Node) {
+			if epsilonHelper.MatchString(name) {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				x := pass.TypesInfo.Types[b.X]
+				y := pass.TypesInfo.Types[b.Y]
+				if !isFloat(x.Type) && !isFloat(y.Type) {
+					return true
+				}
+				if x.Value != nil && y.Value != nil {
+					return true // constant-folded, exact by definition
+				}
+				if isZero(x.Value) || isZero(y.Value) {
+					return true
+				}
+				pass.Reportf(b.OpPos, "exact floating-point %s comparison; "+
+					"use an epsilon helper (or //lint:allow floateq with a reason)", b.Op)
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZero(v constant.Value) bool {
+	return v != nil && v.Kind() == constant.Float && constant.Sign(v) == 0 ||
+		v != nil && v.Kind() == constant.Int && constant.Sign(v) == 0
+}

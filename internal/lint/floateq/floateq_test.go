@@ -1,0 +1,17 @@
+package floateq_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, floateq.Analyzer, "fixtures/floateq")
+}

@@ -1,0 +1,67 @@
+// Package lint holds the repo-wide clean-lint meta-test: every
+// repolint analyzer runs over every package in the module, and any
+// diagnostic — a regression against the determinism, float-equality,
+// unit-safety, or panic-discipline gates — fails the build's test
+// tier, not just the lint tier.
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/repolint"
+)
+
+// TestRepoIsLintClean type-checks the whole module and requires zero
+// diagnostics from the full analyzer suite. New code that wants an
+// exemption must carry an explicit "//lint:allow <analyzer> (reason)"
+// so the debt stays greppable.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is not short")
+	}
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	for _, a := range repolint.Analyzers {
+		for _, pkg := range pkgs {
+			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				t.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+				continue
+			}
+			for _, d := range pass.Diagnostics() {
+				t.Errorf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+			}
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

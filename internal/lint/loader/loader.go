@@ -1,0 +1,181 @@
+// Package loader loads and type-checks the module's packages for the
+// repolint analyzers without any dependency outside the standard
+// library. It shells out to "go list -json" for package discovery
+// (respecting build constraints and the testdata exclusion exactly as
+// the go tool does) and then parses and type-checks each package with
+// go/parser and go/types, resolving intra-module imports recursively
+// and standard-library imports through the compiler's export data.
+//
+// It is the engine behind both "repolint ./..." standalone runs and
+// the repo-wide clean-lint meta-test; when repolint runs under
+// "go vet -vettool" the go tool does the loading instead and repolint
+// speaks the vet config protocol (see cmd/repolint).
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of "go list -json" output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// Load discovers the packages matching patterns (e.g. "./...") relative
+// to dir, parses their non-test Go files with comments, and type-checks
+// them in dependency order. All packages share fset.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, order, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &moduleLoader{
+		fset:   fset,
+		listed: listed,
+		std:    importer.Default(),
+		loaded: make(map[string]*Package),
+	}
+	var pkgs []*Package
+	for _, path := range order {
+		if len(listed[path].GoFiles) == 0 {
+			continue // test-only package, e.g. internal/lint itself
+		}
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goList runs "go list -json patterns..." in dir and returns the
+// decoded packages plus their import paths in stable order.
+func goList(dir string, patterns []string) (map[string]*listedPackage, []string, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	listed := make(map[string]*listedPackage)
+	var order []string
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+	sort.Strings(order)
+	return listed, order, nil
+}
+
+// moduleLoader type-checks listed packages on demand, memoizing results
+// so shared dependencies are checked once.
+type moduleLoader struct {
+	fset   *token.FileSet
+	listed map[string]*listedPackage
+	std    types.Importer
+	loaded map[string]*Package
+	stack  []string // cycle detection
+}
+
+// Import implements types.Importer: intra-module imports are loaded
+// from source, everything else (the standard library) comes from the
+// compiler's export data.
+func (ld *moduleLoader) Import(path string) (*types.Package, error) {
+	if _, ok := ld.listed[path]; ok {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *moduleLoader) load(path string) (*Package, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	for _, on := range ld.stack {
+		if on == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	meta := ld.listed[path]
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &Package{
+		ImportPath: path,
+		Dir:        meta.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.loaded[path] = p
+	return p, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,69 @@
+// Package panicfree defines an analyzer that enforces the repository's
+// panic discipline in library code: internal packages must report
+// failures as errors, not panics, so a malformed configuration or a
+// modeling bug surfaces as a diagnosable failure in cmd/ front-ends
+// instead of killing a long campaign half-way through its sweeps.
+//
+// Two escapes exist, both deliberate and visible at the call site:
+//
+//   - constructor-validation functions named Must* (or must*) may
+//     panic, following the stdlib regexp.MustCompile convention, and
+//   - a "//lint:allow panicfree (reason)" comment marks an invariant
+//     panic that genuinely cannot be an error (e.g. the simulation
+//     kernel detecting internal scheduler corruption).
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags panic calls in internal library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc: "forbid panic() in internal/* non-test code except inside Must* " +
+		"constructor-validation functions; return errors at API boundaries, " +
+		"or mark kernel invariants with //lint:allow panicfree (reason)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "repro/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		analysis.WalkFuncs([]*ast.File{f}, func(name string, body ast.Node) {
+			if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+					return true // a local function shadowing the builtin
+				}
+				where := "function " + name
+				if name == "" {
+					where = "package-level initializer"
+				}
+				pass.Reportf(call.Pos(), "panic in %s of library package %s; "+
+					"return an error (or rename the constructor Must*, or "+
+					"//lint:allow panicfree with a reason)", where, pass.Pkg.Path())
+				return true
+			})
+		})
+	}
+	return nil
+}

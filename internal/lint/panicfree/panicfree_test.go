@@ -1,0 +1,17 @@
+package panicfree_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/panicfree"
+)
+
+func TestPanicFree(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, panicfree.Analyzer, "repro/internal/panicfixture")
+}

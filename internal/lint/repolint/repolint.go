@@ -1,0 +1,31 @@
+// Package repolint assembles the repository's analyzer suite. The
+// cmd/repolint multichecker, the go vet -vettool integration, and the
+// repo-wide clean-lint meta-test all run exactly this list, so adding
+// an analyzer here is the single step that wires it into every gate.
+package repolint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/floateq"
+	"repro/internal/lint/panicfree"
+	"repro/internal/lint/unitsafety"
+)
+
+// Analyzers is the full repolint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	floateq.Analyzer,
+	unitsafety.Analyzer,
+	panicfree.Analyzer,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package free sits outside the restricted simulator package paths, so
+// the determinism analyzer must report nothing here even though every
+// forbidden construct appears.
+package free
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// WallClock is legal outside the simulator: cmd front-ends may time
+// themselves and read their environment.
+func WallClock() (time.Time, int, string) {
+	return time.Now(), rand.Intn(10), os.Getenv("HOME")
+}

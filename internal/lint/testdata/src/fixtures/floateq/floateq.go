@@ -1,0 +1,52 @@
+// Package floateq exercises the floateq analyzer: exact equality
+// between floating-point operands is flagged, while zero guards,
+// epsilon helpers, integer comparisons, and suppressed lines pass.
+package floateq
+
+// Volts is a named float type; the underlying kind is what matters.
+type Volts float64
+
+// Bad compares floats exactly.
+func Bad(a, b float64, v, w Volts) bool {
+	if a == b { // want `exact floating-point == comparison`
+		return true
+	}
+	if v != w { // want `exact floating-point != comparison`
+		return true
+	}
+	return a != b // want `exact floating-point != comparison`
+}
+
+// ZeroGuard is the sanctioned exact comparison: against the constant
+// zero (IEEE-exact, used to detect "unset" and guard division).
+func ZeroGuard(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// approxEqual is an epsilon helper; the raw comparison inside is its
+// reason to exist and must not be flagged.
+func approxEqual(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps || a == b
+}
+
+// Ints compares integers; nothing to report.
+func Ints(a, b int64) bool { return a == b }
+
+// Suppressed uses the escape hatch.
+func Suppressed(a, b float64) bool {
+	return a == b //lint:allow floateq (bit-identity check on purpose)
+}
+
+// Consts fold at compile time; exact by definition.
+func Consts() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+x == y
+}

@@ -1,0 +1,41 @@
+// Package unitsafety exercises the unit-suffix analyzer: additive
+// arithmetic between operands of different physical dimensions is
+// flagged; multiplying or dividing through time converts dimensions
+// and passes.
+package unitsafety
+
+// Bad mixes dimensions without conversion.
+func Bad(energyJ, powerW, delayS, freqHz float64) float64 {
+	x := energyJ + powerW // want `unit mismatch: energy \(J\) \+ power \(W\)`
+	if energyJ < powerW { // want `unit mismatch: energy \(J\) < power \(W\)`
+		x++
+	}
+	if freqHz > delayS { // want `unit mismatch: frequency \(Hz\) > time \(s\)`
+		x++
+	}
+	total := 0.0
+	_ = total
+	energyJ -= powerW // want `unit mismatch: energy \(J\) -= power \(W\)`
+	return x + energyJ
+}
+
+// Good converts through the unit algebra: watts × seconds is joules,
+// joules ÷ seconds is watts.
+func Good(energyJ, powerW, delayS float64) float64 {
+	total := energyJ + powerW*delayS // P×T = E: legal
+	avgW := energyJ / delayS
+	if avgW > powerW { // W vs W: legal
+		total++
+	}
+	ratio := energyJ / (powerW * delayS) // dimensionless
+	return total + ratio
+}
+
+// Unsuffixed identifiers carry no dimension; nothing to report.
+func Unsuffixed(a, b float64) float64 { return a + b }
+
+// Suppressed uses the escape hatch for a deliberate mixed sum (e.g. a
+// weighted objective function).
+func Suppressed(energyJ, delayS float64) float64 {
+	return energyJ + delayS //lint:allow unitsafety (weighted objective, dimensionless by construction)
+}

@@ -1,0 +1,63 @@
+// Package panicfixture exercises the panicfree analyzer inside an
+// internal library package: bare panics are flagged; Must* validation
+// constructors and suppressed kernel invariants pass.
+package panicfixture
+
+import "errors"
+
+// Config is a stand-in for a validated configuration value.
+type Config struct{ N int }
+
+// New returns an error, the sanctioned failure path.
+func New(n int) (Config, error) {
+	if n <= 0 {
+		return Config{}, errors.New("panicfixture: non-positive n")
+	}
+	return Config{N: n}, nil
+}
+
+// MustNew follows the regexp.MustCompile convention; its panic is the
+// allowed constructor-validation form.
+func MustNew(n int) Config {
+	c, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustSmall shows the unexported variant is allowed too.
+func mustSmall(n int) int {
+	if n > 10 {
+		panic("panicfixture: too big")
+	}
+	return n
+}
+
+// Bad panics in an ordinary function.
+func Bad(n int) int {
+	if n < 0 {
+		panic("panicfixture: negative") // want `panic in function Bad`
+	}
+	return n
+}
+
+// Closure panics inside a function literal in an ordinary function;
+// it is attributed to the enclosing function.
+func Closure() func() {
+	return func() {
+		panic("panicfixture: from closure") // want `panic in function Closure`
+	}
+}
+
+// initialized panics in a package-level initializer expression.
+var initialized = func() int { // body below is a package-level initializer
+	panic("panicfixture: init") // want `panic in package-level initializer`
+}
+
+// Suppressed marks a genuine invariant with the escape hatch.
+func Suppressed(ok bool) {
+	if !ok {
+		panic("panicfixture: corrupted state") //lint:allow panicfree (kernel invariant)
+	}
+}

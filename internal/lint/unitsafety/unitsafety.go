@@ -1,0 +1,258 @@
+// Package unitsafety defines an analyzer that catches dimensional
+// nonsense in power/performance arithmetic: adding an energy to a
+// power, comparing a frequency against a duration, subtracting watts
+// from joules. The repository names raw float64 quantities with unit
+// suffixes (energyJ, powerW, delayS, freqHz) and wraps some in named
+// types (power.Joules, power.Watts, sim.Duration, dvfs.Hz); this
+// analyzer reads both conventions and checks additive operators and
+// comparisons, while understanding that multiplication and division
+// convert between dimensions (watts × seconds = joules, joules ÷
+// seconds = watts).
+//
+// The Go type system already rejects mixing the named types, but the
+// moment a computation converts to float64 — as every model formula
+// here does — that protection vanishes. Identifier naming is the only
+// remaining signal, and this analyzer makes it load-bearing.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags additive arithmetic and comparisons between operands
+// whose names or types carry different physical units.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: "forbid +, -, and comparisons between quantities with different " +
+		"unit conventions (energyJ vs powerW vs delayS vs freqHz); insert " +
+		"the ×time or ÷time factor, or suppress with //lint:allow unitsafety",
+	Run: run,
+}
+
+// dim is a physical dimension tracked by the analyzer.
+type dim int
+
+const (
+	unknown   dim = iota
+	energy        // joules
+	power         // watts
+	duration      // seconds
+	frequency     // hertz
+)
+
+func (d dim) String() string {
+	switch d {
+	case energy:
+		return "energy (J)"
+	case power:
+		return "power (W)"
+	case duration:
+		return "time (s)"
+	case frequency:
+		return "frequency (Hz)"
+	}
+	return "unknown"
+}
+
+// suffixDims maps identifier suffixes to dimensions, longest first.
+// A suffix only counts when it is a capitalized word boundary: the
+// character before it must be a lowercase letter or digit, so
+// "energyJ" and "lat95Ns" match but "DeltaHPC" and "NewJ" do not.
+var suffixDims = []struct {
+	suffix string
+	d      dim
+}{
+	{"Joules", energy},
+	{"Joule", energy},
+	{"Watts", power},
+	{"Watt", power},
+	{"Hertz", frequency},
+	{"Seconds", duration},
+	{"Secs", duration},
+	{"Sec", duration},
+	{"Nanos", duration},
+	{"Millis", duration},
+	{"MHz", frequency},
+	{"GHz", frequency},
+	{"KHz", frequency},
+	{"Hz", frequency},
+	{"Ns", duration},
+	{"Ms", duration},
+	{"J", energy},
+	{"W", power},
+	{"S", duration},
+}
+
+// typeDims maps named-type names (from this repository's unit types)
+// to dimensions.
+var typeDims = map[string]dim{
+	"Joules":   energy,
+	"Watts":    power,
+	"Duration": duration,
+	"Time":     duration,
+	"Hz":       frequency,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !additiveOrOrdered(n.Op) {
+					return true
+				}
+				dx := dimOf(pass.TypesInfo, n.X)
+				dy := dimOf(pass.TypesInfo, n.Y)
+				if dx != unknown && dy != unknown && dx != dy {
+					pass.Reportf(n.OpPos, "unit mismatch: %s %s %s "+
+						"(insert the ×time/÷time conversion, or //lint:allow unitsafety)",
+						dx, n.Op, dy)
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				dx := dimOf(pass.TypesInfo, n.Lhs[0])
+				dy := dimOf(pass.TypesInfo, n.Rhs[0])
+				if dx != unknown && dy != unknown && dx != dy {
+					pass.Reportf(n.TokPos, "unit mismatch: %s %s %s "+
+						"(insert the ×time/÷time conversion, or //lint:allow unitsafety)",
+						dx, n.Tok, dy)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func additiveOrOrdered(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// dimOf infers the dimension of an expression: named unit types and
+// suffix-annotated identifiers are the leaves, and * and / combine
+// dimensions algebraically. Conversions like float64(x) are
+// transparent; anything else is unknown (and unknown never trips the
+// analyzer — the check fires only when both sides are confidently
+// dimensioned).
+func dimOf(info *types.Info, e ast.Expr) dim {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if d := typeDim(info, e); d != unknown {
+			return d
+		}
+		return nameDim(e.Name)
+	case *ast.SelectorExpr:
+		if d := typeDim(info, e); d != unknown {
+			return d
+		}
+		return nameDim(e.Sel.Name)
+	case *ast.CallExpr:
+		// A conversion carries its operand's dimension through:
+		// float64(energyJ) is still an energy. Method and function
+		// calls fall back to the callee type's dimension (e.g.
+		// node.Power() returning power.Watts).
+		if len(e.Args) == 1 && isConversion(info, e) {
+			if d := dimOf(info, e.Args[0]); d != unknown {
+				return d
+			}
+		}
+		return typeDim(info, e)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return dimOf(info, e.X)
+		}
+	case *ast.BinaryExpr:
+		dx, dy := dimOf(info, e.X), dimOf(info, e.Y)
+		switch e.Op {
+		case token.MUL:
+			return mulDim(dx, dy)
+		case token.QUO:
+			return divDim(dx, dy)
+		case token.ADD, token.SUB:
+			if dx == dy {
+				return dx
+			}
+		}
+	}
+	return unknown
+}
+
+// mulDim applies the unit algebra for products.
+func mulDim(a, b dim) dim {
+	switch {
+	case a == power && b == duration, a == duration && b == power:
+		return energy
+	case a == frequency && b == duration, a == duration && b == frequency:
+		return unknown // cycles: dimensionless count
+	}
+	return unknown
+}
+
+// divDim applies the unit algebra for quotients.
+func divDim(a, b dim) dim {
+	switch {
+	case a == energy && b == duration:
+		return power
+	case a == energy && b == power:
+		return duration
+	case a == b && a != unknown:
+		return unknown // ratio: dimensionless
+	}
+	return unknown
+}
+
+// typeDim reads the dimension from the expression's named type.
+func typeDim(info *types.Info, e ast.Expr) dim {
+	t := info.TypeOf(e)
+	if t == nil {
+		return unknown
+	}
+	if named, ok := t.(*types.Named); ok {
+		return typeDims[named.Obj().Name()]
+	}
+	return unknown
+}
+
+// nameDim reads the dimension from an identifier's unit suffix.
+func nameDim(name string) dim {
+	for _, s := range suffixDims {
+		if !strings.HasSuffix(name, s.suffix) {
+			continue
+		}
+		rest := name[:len(name)-len(s.suffix)]
+		if rest == "" {
+			continue
+		}
+		c := rest[len(rest)-1]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			return s.d
+		}
+	}
+	return unknown
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,17 @@
+package unitsafety_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, unitsafety.Analyzer, "fixtures/unitsafety")
+}

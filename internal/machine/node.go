@@ -318,28 +318,35 @@ func (n *Node) inState(p *sim.Proc, s State, d sim.Duration) {
 // transition energy. Work segments already in flight keep the duration
 // computed at their start; the new frequency applies from the next
 // segment (the model's granularity of error is one work segment).
-func (n *Node) SetOperatingPointIndex(p *sim.Proc, idx int) {
+// It returns an error (and changes nothing) if idx is out of range.
+func (n *Node) SetOperatingPointIndex(p *sim.Proc, idx int) error {
 	if idx == n.opIdx {
-		return
+		return nil
 	}
-	n.checkIdx(idx)
+	if err := n.checkIdx(idx); err != nil {
+		return err
+	}
 	prev := n.state
 	n.SetState(Switching)
 	token := n.StateToken()
 	p.Sleep(n.par.Transition.Latency)
 	n.commitOP(idx)
 	n.RestoreState(token, prev)
+	return nil
 }
 
 // SetOperatingPointIndexAsync performs the transition from event context
 // (used by governor daemons driven by timers): the stall is modeled by
 // the Switching state lasting the transition latency, after which the
 // previous state is restored unless the workload changed state meanwhile.
-func (n *Node) SetOperatingPointIndexAsync(idx int) {
+// It returns an error (and changes nothing) if idx is out of range.
+func (n *Node) SetOperatingPointIndexAsync(idx int) error {
 	if idx == n.opIdx {
-		return
+		return nil
 	}
-	n.checkIdx(idx)
+	if err := n.checkIdx(idx); err != nil {
+		return err
+	}
 	prev := n.state
 	n.SetState(Switching)
 	token := n.StateToken()
@@ -347,12 +354,14 @@ func (n *Node) SetOperatingPointIndexAsync(idx int) {
 	n.eng.After(n.par.Transition.Latency, func() {
 		n.RestoreState(token, prev)
 	})
+	return nil
 }
 
-func (n *Node) checkIdx(idx int) {
+func (n *Node) checkIdx(idx int) error {
 	if idx < 0 || idx >= n.par.Table.Len() {
-		panic(fmt.Sprintf("machine: operating point index %d out of range", idx))
+		return fmt.Errorf("machine: operating point index %d out of range [0,%d)", idx, n.par.Table.Len())
 	}
+	return nil
 }
 
 func (n *Node) commitOP(idx int) {
@@ -366,8 +375,8 @@ func (n *Node) commitOP(idx int) {
 }
 
 // SetFrequency moves to the table point closest to freq (blocking form).
-func (n *Node) SetFrequency(p *sim.Proc, freq dvfs.Hz) {
-	n.SetOperatingPointIndex(p, n.par.Table.IndexOf(n.par.Table.ClosestTo(freq).Freq))
+func (n *Node) SetFrequency(p *sim.Proc, freq dvfs.Hz) error {
+	return n.SetOperatingPointIndex(p, n.par.Table.IndexOf(n.par.Table.ClosestTo(freq).Freq))
 }
 
 // Transitions reports how many DVS switches the node has performed.

@@ -292,17 +292,21 @@ func TestAsyncTransitionDoesNotStompNewState(t *testing.T) {
 	}
 }
 
-func TestOutOfRangeOperatingPointPanics(t *testing.T) {
+func TestOutOfRangeOperatingPointErrors(t *testing.T) {
 	e, n := newTestNode(t)
 	e.Spawn("w", func(p *sim.Proc) {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic")
-			}
-		}()
-		n.SetOperatingPointIndex(p, 99)
+		if err := n.SetOperatingPointIndex(p, 99); err == nil {
+			t.Error("expected error for index 99")
+		}
+		if err := n.SetOperatingPointIndexAsync(-1); err == nil {
+			t.Error("expected error for index -1")
+		}
+		// A failed switch must not have moved the operating point or
+		// logged a transition.
+		if n.Transitions() != 0 {
+			t.Errorf("transitions = %d after failed switches", n.Transitions())
+		}
 	})
-	// The recover above swallows it, so Run sees no failure.
 	run(t, e)
 }
 

@@ -129,7 +129,7 @@ func (p Params) NonCPUIdle() power.Watts {
 // performance where the power-aware approach keeps it available.
 func LowPowerParams() Params {
 	p := DefaultParams()
-	p.Table = dvfs.NewTable([]dvfs.OperatingPoint{
+	p.Table = dvfs.MustTable([]dvfs.OperatingPoint{
 		{Freq: 667 * dvfs.MHz, Voltage: 1.2},
 	})
 	p.CPUDynAtTop = 5.5 // W at 667 MHz: Crusoe-class core

@@ -47,10 +47,10 @@ const DefaultBatteryCapacityMWh = 72000
 // given poll refresh (the paper observes 15-20 s).
 func NewACPIBattery(node *machine.Node, capacityMWh float64, refresh sim.Duration) *ACPIBattery {
 	if capacityMWh <= 0 {
-		panic("meter: non-positive battery capacity")
+		panic("meter: non-positive battery capacity") //lint:allow panicfree (constructor misuse; meter config is fixed at build time)
 	}
 	if refresh <= 0 {
-		panic("meter: non-positive refresh")
+		panic("meter: non-positive refresh") //lint:allow panicfree (constructor misuse; meter config is fixed at build time)
 	}
 	return &ACPIBattery{node: node, capacity: capacityMWh, refresh: refresh}
 }
@@ -141,10 +141,10 @@ type BaytechStrip struct {
 // (the hardware updates once a minute).
 func NewBaytechStrip(nodes []*machine.Node, interval sim.Duration) *BaytechStrip {
 	if len(nodes) == 0 {
-		panic("meter: empty strip")
+		panic("meter: empty strip") //lint:allow panicfree (constructor misuse; meter config is fixed at build time)
 	}
 	if interval <= 0 {
-		panic("meter: non-positive interval")
+		panic("meter: non-positive interval") //lint:allow panicfree (constructor misuse; meter config is fixed at build time)
 	}
 	return &BaytechStrip{
 		nodes:    nodes,

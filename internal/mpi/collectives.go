@@ -85,7 +85,7 @@ func (r *Rank) recvColl(p *sim.Proc, src, tag int) *Message {
 // checkPos validates a group position.
 func (v view) checkPos(pos int) {
 	if pos < 0 || pos >= v.size {
-		panic(fmt.Sprintf("mpi: group position %d out of range [0,%d)", pos, v.size))
+		panic(fmt.Sprintf("mpi: group position %d out of range [0,%d)", pos, v.size)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 }
 
@@ -228,7 +228,7 @@ func scatterV(v view, root int, sizes func(pos int) int64, payloads []any) any {
 	tag := v.tag(0)
 	if v.me == root {
 		if payloads != nil && len(payloads) != n {
-			panic("mpi: scatter payloads length mismatch")
+			panic("mpi: scatter payloads length mismatch") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 		}
 		for i := 0; i < n; i++ {
 			if i == root {
@@ -299,7 +299,7 @@ func (r *Rank) Alltoall(p *sim.Proc, bytesPerPeer int64) {
 // matrix, i.e. what i sends to j is what j expects from i.
 func (r *Rank) Alltoallv(p *sim.Proc, sizes []int64) {
 	if len(sizes) != r.Size() {
-		panic("mpi: Alltoallv sizes length mismatch")
+		panic("mpi: Alltoallv sizes length mismatch") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	alltoallV(r.worldView(p), func(pos int) int64 { return sizes[pos] })
 }
@@ -317,7 +317,7 @@ func (r *Rank) Gather(p *sim.Proc, root int, size int64, payload any) []any {
 // must have one entry per rank.
 func (r *Rank) Scatter(p *sim.Proc, root int, size int64, payloads []any) any {
 	if r.id == root && payloads == nil {
-		panic("mpi: Scatter needs payloads at root")
+		panic("mpi: Scatter needs payloads at root") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	return scatterV(r.worldView(p), root, func(int) int64 { return size }, payloads)
 }

@@ -13,7 +13,7 @@ import "repro/internal/sim"
 // rank; nil elsewhere.
 func (r *Rank) Gatherv(p *sim.Proc, root int, sizes []int64, payload any) []any {
 	if len(sizes) != r.Size() {
-		panic("mpi: Gatherv sizes length mismatch")
+		panic("mpi: Gatherv sizes length mismatch") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	return gatherV(r.worldView(p), root, func(pos int) int64 { return sizes[pos] }, payload)
 }
@@ -24,7 +24,7 @@ func (r *Rank) Gatherv(p *sim.Proc, root int, sizes []int64, payload any) []any 
 func (r *Rank) Scatterv(p *sim.Proc, root int, sizes []int64, payloads []any) any {
 	if r.id == root {
 		if len(sizes) != r.Size() || len(payloads) != r.Size() {
-			panic("mpi: Scatterv sizes/payloads length mismatch")
+			panic("mpi: Scatterv sizes/payloads length mismatch") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 		}
 	}
 	var sizeFn func(pos int) int64
@@ -73,7 +73,7 @@ func (r *Rank) ReduceScatter(p *sim.Proc, size int64, payload any,
 		if split != nil {
 			parts = split(total)
 			if len(parts) != n {
-				panic("mpi: ReduceScatter split length mismatch")
+				panic("mpi: ReduceScatter split length mismatch") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 			}
 		} else {
 			parts = make([]any, n)

@@ -106,7 +106,7 @@ func (r *Rank) Split(p *sim.Proc, color, key int) *Comm {
 				}
 			}
 			if me < 0 {
-				panic("mpi: split table missing self")
+				panic("mpi: split table missing self") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 			}
 			myComm = &Comm{r: r, ranks: members, me: me, slot: slot}
 			break
@@ -136,7 +136,7 @@ func countColors(table []splitEntry) int {
 func (w *World) allocCommSlots(n int) int {
 	first := w.nextCommSlot
 	if first+n-1 > maxCommSlots {
-		panic(fmt.Sprintf("mpi: out of communicator tag slots (%d allocated)", w.nextCommSlot-1))
+		panic(fmt.Sprintf("mpi: out of communicator tag slots (%d allocated)", w.nextCommSlot-1)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	w.nextCommSlot += n
 	return first
@@ -151,7 +151,7 @@ func (c *Comm) Size() int { return len(c.ranks) }
 // WorldRank translates a comm rank to its world rank.
 func (c *Comm) WorldRank(pos int) int {
 	if pos < 0 || pos >= len(c.ranks) {
-		panic(fmt.Sprintf("mpi: comm rank %d out of range [0,%d)", pos, len(c.ranks)))
+		panic(fmt.Sprintf("mpi: comm rank %d out of range [0,%d)", pos, len(c.ranks))) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	return c.ranks[pos]
 }
@@ -164,7 +164,7 @@ func (c *Comm) view(p *sim.Proc) view {
 // ctag maps a user tag into this communicator's p2p context.
 func (c *Comm) ctag(tag int) int {
 	if tag < 0 || tag > MaxCommTag {
-		panic(fmt.Sprintf("mpi: comm tag %d outside [0,%d]", tag, MaxCommTag))
+		panic(fmt.Sprintf("mpi: comm tag %d outside [0,%d]", tag, MaxCommTag)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	return commP2PBase + c.slot*commP2PStride + tag
 }
@@ -189,7 +189,7 @@ func (c *Comm) Recv(p *sim.Proc, src, tag int) *Message {
 			return m
 		}
 	}
-	panic("mpi: comm received from non-member")
+	panic("mpi: comm received from non-member") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 }
 
 // Isend is Send in the background.

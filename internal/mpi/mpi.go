@@ -84,10 +84,10 @@ type World struct {
 // must have at least as many ports as nodes (rank i uses port i).
 func NewWorld(eng *sim.Engine, nodes []*machine.Node, sw netsim.Fabric, cfg Config) *World {
 	if len(nodes) == 0 {
-		panic("mpi: empty world")
+		panic("mpi: empty world") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	if sw.Ports() < len(nodes) {
-		panic(fmt.Sprintf("mpi: %d nodes but only %d switch ports", len(nodes), sw.Ports()))
+		panic(fmt.Sprintf("mpi: %d nodes but only %d switch ports", len(nodes), sw.Ports())) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	w := &World{
 		eng:          eng,
@@ -272,14 +272,14 @@ func (r *Rank) deliver(m *Message) {
 	case kindCTS:
 		c, ok := r.rendezvous[m.handle]
 		if !ok {
-			panic(fmt.Sprintf("mpi: rank %d: CTS for unknown handle %d", r.id, m.handle))
+			panic(fmt.Sprintf("mpi: rank %d: CTS for unknown handle %d", r.id, m.handle)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 		}
 		delete(r.rendezvous, m.handle)
 		c.Signal(m)
 	case kindRData:
 		c, ok := r.dataWait[m.handle]
 		if !ok {
-			panic(fmt.Sprintf("mpi: rank %d: data for unknown handle %d", r.id, m.handle))
+			panic(fmt.Sprintf("mpi: rank %d: data for unknown handle %d", r.id, m.handle)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 		}
 		delete(r.dataWait, m.handle)
 		c.Signal(m)

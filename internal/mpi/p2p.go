@@ -23,7 +23,7 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, size int64, payload any) {
 // reserved for the collective algorithms.
 func checkUserTag(tag int) {
 	if tag < 0 || tag >= collectiveTagBase {
-		panic(fmt.Sprintf("mpi: tag %d outside application range [0,%d)", tag, collectiveTagBase))
+		panic(fmt.Sprintf("mpi: tag %d outside application range [0,%d)", tag, collectiveTagBase)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 }
 
@@ -156,7 +156,7 @@ func (r *Rank) completeRecv(p *sim.Proc, m *Message) *Message {
 		r.stats.BytesRecv += data.Size
 		return data
 	default:
-		panic("mpi: matched a non-envelope message")
+		panic("mpi: matched a non-envelope message") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 }
 
@@ -237,7 +237,7 @@ func (r *Rank) Sendrecv(p *sim.Proc, dst, sendTag int, size int64, payload any, 
 
 func (r *Rank) checkRank(id int) {
 	if id < 0 || id >= len(r.w.ranks) {
-		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", id, len(r.w.ranks)))
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", id, len(r.w.ranks))) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 }
 

@@ -54,13 +54,13 @@ type Switch struct {
 // New builds a switch with ports full-duplex ports.
 func New(eng *sim.Engine, ports int, cfg Config) *Switch {
 	if ports <= 0 {
-		panic(fmt.Sprintf("netsim: %d ports", ports))
+		panic(fmt.Sprintf("netsim: %d ports", ports)) //lint:allow panicfree (constructor misuse; topology config is fixed at build time)
 	}
 	if cfg.BandwidthBytesPerSec <= 0 {
-		panic("netsim: non-positive bandwidth")
+		panic("netsim: non-positive bandwidth") //lint:allow panicfree (constructor misuse; topology config is fixed at build time)
 	}
 	if cfg.Latency < 0 {
-		panic("netsim: negative latency")
+		panic("netsim: negative latency") //lint:allow panicfree (constructor misuse; topology config is fixed at build time)
 	}
 	return &Switch{
 		eng:       eng,
@@ -92,7 +92,7 @@ func (s *Switch) SerializationTime(size int64) sim.Duration {
 // caller schedules delivery; the switch only does the accounting.
 func (s *Switch) Transfer(src, dst int, size int64) (start, deliver sim.Time) {
 	if src == dst {
-		panic(fmt.Sprintf("netsim: self-transfer on port %d", src))
+		panic(fmt.Sprintf("netsim: self-transfer on port %d", src)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
 	}
 	s.checkPort(src)
 	s.checkPort(dst)
@@ -126,7 +126,7 @@ func (s *Switch) Transfer(src, dst int, size int64) (start, deliver sim.Time) {
 // latency. It returns the delivery time.
 func (s *Switch) Control(src, dst int, size int64) (deliver sim.Time) {
 	if src == dst {
-		panic(fmt.Sprintf("netsim: self-transfer on port %d", src))
+		panic(fmt.Sprintf("netsim: self-transfer on port %d", src)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
 	}
 	s.checkPort(src)
 	s.checkPort(dst)
@@ -159,7 +159,7 @@ func (s *Switch) PortBytes(port int) int64 {
 
 func (s *Switch) checkPort(p int) {
 	if p < 0 || p >= len(s.txFree) {
-		panic(fmt.Sprintf("netsim: port %d out of range [0,%d)", p, len(s.txFree)))
+		panic(fmt.Sprintf("netsim: port %d out of range [0,%d)", p, len(s.txFree))) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
 	}
 }
 

@@ -57,16 +57,16 @@ type Tree struct {
 // NewTree builds a tree fabric with the given number of host ports.
 func NewTree(eng *sim.Engine, ports int, cfg TreeConfig) *Tree {
 	if ports <= 0 {
-		panic(fmt.Sprintf("netsim: %d ports", ports))
+		panic(fmt.Sprintf("netsim: %d ports", ports)) //lint:allow panicfree (constructor misuse; topology config is fixed at build time)
 	}
 	if cfg.PortsPerEdge <= 0 || cfg.PortsPerEdge > ports {
-		panic("netsim: invalid PortsPerEdge")
+		panic("netsim: invalid PortsPerEdge") //lint:allow panicfree (constructor misuse; topology config is fixed at build time)
 	}
 	if cfg.Host.BandwidthBytesPerSec <= 0 || cfg.UplinkBandwidthBytesPerSec <= 0 {
-		panic("netsim: non-positive bandwidth")
+		panic("netsim: non-positive bandwidth") //lint:allow panicfree (constructor misuse; topology config is fixed at build time)
 	}
 	if cfg.Host.Latency < 0 || cfg.CoreLatency < 0 {
-		panic("netsim: negative latency")
+		panic("netsim: negative latency") //lint:allow panicfree (constructor misuse; topology config is fixed at build time)
 	}
 	edges := (ports + cfg.PortsPerEdge - 1) / cfg.PortsPerEdge
 	return &Tree{
@@ -110,7 +110,7 @@ func (t *Tree) uplinkSer(size int64) sim.Duration {
 // Transfer implements Fabric.
 func (t *Tree) Transfer(src, dst int, size int64) (start, deliver sim.Time) {
 	if src == dst {
-		panic(fmt.Sprintf("netsim: self-transfer on port %d", src))
+		panic(fmt.Sprintf("netsim: self-transfer on port %d", src)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
 	}
 	t.checkPort(src)
 	t.checkPort(dst)
@@ -156,7 +156,7 @@ func (t *Tree) Transfer(src, dst int, size int64) (start, deliver sim.Time) {
 // core hop added for inter-edge pairs.
 func (t *Tree) Control(src, dst int, size int64) (deliver sim.Time) {
 	if src == dst {
-		panic(fmt.Sprintf("netsim: self-transfer on port %d", src))
+		panic(fmt.Sprintf("netsim: self-transfer on port %d", src)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
 	}
 	t.checkPort(src)
 	t.checkPort(dst)
@@ -174,7 +174,7 @@ func (t *Tree) Stats() (messages, bytes int64) { return t.messages, t.bytes }
 
 func (t *Tree) checkPort(p int) {
 	if p < 0 || p >= t.ports {
-		panic(fmt.Sprintf("netsim: port %d out of range [0,%d)", p, t.ports))
+		panic(fmt.Sprintf("netsim: port %d out of range [0,%d)", p, t.ports)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
 	}
 }
 

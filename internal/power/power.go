@@ -162,7 +162,7 @@ func (in *Integrator) Power() Watts { return in.power }
 // advance folds the elapsed interval into the running total.
 func (in *Integrator) advance(t sim.Time) {
 	if in.started && t < in.last {
-		panic(fmt.Sprintf("power: SetPower time regressed: %v < %v", t, in.last))
+		panic(fmt.Sprintf("power: SetPower time regressed: %v < %v", t, in.last)) //lint:allow panicfree (time-regression breaks the integrator; kernel invariant)
 	}
 	if in.started && t > in.last {
 		in.total += Joules(float64(in.power) * t.Sub(in.last).Seconds())

@@ -178,11 +178,11 @@ func (c *NodeCtx) EnterRegion(p *sim.Proc, name string) {
 // recently entered one (regions nest strictly).
 func (c *NodeCtx) ExitRegion(p *sim.Proc, name string) {
 	if len(c.stack) == 0 {
-		panic(fmt.Sprintf("powerpack: ExitRegion(%q) with no open region on node %d", name, c.node.ID()))
+		panic(fmt.Sprintf("powerpack: ExitRegion(%q) with no open region on node %d", name, c.node.ID())) //lint:allow panicfree (region-nesting API misuse is a programming error)
 	}
 	top := c.stack[len(c.stack)-1]
 	if top.name != name {
-		panic(fmt.Sprintf("powerpack: ExitRegion(%q) but innermost region is %q", name, top.name))
+		panic(fmt.Sprintf("powerpack: ExitRegion(%q) but innermost region is %q", name, top.name)) //lint:allow panicfree (region-nesting API misuse is a programming error)
 	}
 	c.stack = c.stack[:len(c.stack)-1]
 
@@ -210,17 +210,21 @@ func (c *NodeCtx) Mark(label string) {
 
 // SetFrequencyIndex is the application-level DVS control call
 // (libxutil-style): it switches the node's operating point and logs it.
-func (c *NodeCtx) SetFrequencyIndex(p *sim.Proc, idx int) {
+// It returns an error (and logs nothing) if idx is out of range.
+func (c *NodeCtx) SetFrequencyIndex(p *sim.Proc, idx int) error {
 	if idx == c.node.OPIndex() {
-		return
+		return nil
 	}
-	c.node.SetOperatingPointIndex(p, idx)
+	if err := c.node.SetOperatingPointIndex(p, idx); err != nil {
+		return err
+	}
 	now := c.node.Engine().Now()
 	c.prof.record(Event{
 		Node: c.node.ID(), At: now, Kind: EventFreq,
 		Label:  c.node.OperatingPoint().Freq.String(),
 		Energy: c.node.EnergyAt(now),
 	})
+	return nil
 }
 
 // Profile returns the accumulated profile for a region on this node

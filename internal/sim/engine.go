@@ -49,7 +49,7 @@ func (e *Engine) Now() Time { return e.now }
 // causality and make runs non-reproducible.
 func (e *Engine) Schedule(t Time, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: Schedule at %v before now %v", t, e.now))
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", t, e.now)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 	}
 	e.seq++
 	e.queue.push(event{t: t, seq: e.seq, fn: fn})

@@ -109,7 +109,7 @@ func (p *Proc) finish() {
 // whose wake event is already queued).
 func (p *Proc) yield(counted bool) any {
 	if p.state != procRunning {
-		panic("sim: blocking call from outside the process body")
+		panic("sim: blocking call from outside the process body") //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 	}
 	p.state = procParked
 	p.counted = counted
@@ -118,7 +118,7 @@ func (p *Proc) yield(counted bool) any {
 	}
 	p.eng.park <- struct{}{}
 	if <-p.resume == resumeKill {
-		panic(errKilled)
+		panic(errKilled) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 	}
 	v := p.wakeVal
 	p.wakeVal = nil
@@ -131,7 +131,7 @@ func (p *Proc) yield(counted bool) any {
 // other waker can race.
 func (p *Proc) deliverAt(t Time, val any) {
 	if p.state != procParked {
-		panic("sim: wake of a process that is not parked")
+		panic("sim: wake of a process that is not parked") //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 	}
 	p.state = procWaking
 	if p.counted {

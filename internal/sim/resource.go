@@ -23,7 +23,7 @@ type resWaiter struct {
 // must be positive.
 func NewResource(e *Engine, capacity int) *Resource {
 	if capacity <= 0 {
-		panic(fmt.Sprintf("sim: NewResource capacity %d", capacity))
+		panic(fmt.Sprintf("sim: NewResource capacity %d", capacity)) //lint:allow panicfree (constructor misuse; capacity is a compile-time-style config error)
 	}
 	return &Resource{eng: e, capacity: capacity}
 }
@@ -41,7 +41,7 @@ func (r *Resource) Queued() int { return len(r.waiters) }
 // until they are available. n must be between 1 and the capacity.
 func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.capacity {
-		panic(fmt.Sprintf("sim: Acquire %d of capacity %d", n, r.capacity))
+		panic(fmt.Sprintf("sim: Acquire %d of capacity %d", n, r.capacity)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 	}
 	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
@@ -55,7 +55,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 // in FIFO order.
 func (r *Resource) Release(n int) {
 	if n <= 0 || r.inUse-n < 0 {
-		panic(fmt.Sprintf("sim: Release %d with %d in use", n, r.inUse))
+		panic(fmt.Sprintf("sim: Release %d with %d in use", n, r.inUse)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 	}
 	r.inUse -= n
 	for len(r.waiters) > 0 {

@@ -39,10 +39,10 @@ type Recorder struct {
 // interval.
 func NewRecorder(nodes []*machine.Node, interval sim.Duration) *Recorder {
 	if len(nodes) == 0 {
-		panic("trace: no nodes")
+		panic("trace: no nodes") //lint:allow panicfree (constructor misuse; recorder config is fixed at build time)
 	}
 	if interval <= 0 {
-		panic("trace: non-positive interval")
+		panic("trace: non-positive interval") //lint:allow panicfree (constructor misuse; recorder config is fixed at build time)
 	}
 	return &Recorder{nodes: nodes, interval: interval}
 }

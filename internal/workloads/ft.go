@@ -32,10 +32,10 @@ func NewFT(class byte, procs int) *FT {
 	switch class {
 	case 'A', 'B', 'C':
 	default:
-		panic(fmt.Sprintf("workloads: unknown FT class %q", string(class)))
+		panic(fmt.Sprintf("workloads: unknown FT class %q", string(class))) //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	if procs < 1 {
-		panic("workloads: FT needs at least 1 rank")
+		panic("workloads: FT needs at least 1 rank") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &FT{Class: class, Procs: procs}
 }
@@ -50,7 +50,7 @@ func (f *FT) classDims() (points int64, iters int) {
 	case 'C':
 		return 512 * 512 * 512, 20
 	default:
-		panic("workloads: bad FT class")
+		panic("workloads: bad FT class") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 }
 

@@ -26,7 +26,7 @@ type EP struct {
 func NewEP(class byte, procs int) *EP {
 	checkClass("EP", class)
 	if procs < 1 {
-		panic("workloads: EP needs at least 1 rank")
+		panic("workloads: EP needs at least 1 rank") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &EP{Class: class, Procs: procs}
 }
@@ -35,7 +35,7 @@ func checkClass(kernel string, class byte) {
 	switch class {
 	case 'A', 'B', 'C':
 	default:
-		panic(fmt.Sprintf("workloads: unknown %s class %q", kernel, string(class)))
+		panic(fmt.Sprintf("workloads: unknown %s class %q", kernel, string(class))) //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 }
 
@@ -89,7 +89,7 @@ type CG struct {
 func NewCG(class byte, procs int) *CG {
 	checkClass("CG", class)
 	if procs < 1 {
-		panic("workloads: CG needs at least 1 rank")
+		panic("workloads: CG needs at least 1 rank") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &CG{Class: class, Procs: procs}
 }
@@ -154,7 +154,7 @@ type IS struct {
 func NewIS(class byte, procs int) *IS {
 	checkClass("IS", class)
 	if procs < 1 {
-		panic("workloads: IS needs at least 1 rank")
+		panic("workloads: IS needs at least 1 rank") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &IS{Class: class, Procs: procs}
 }

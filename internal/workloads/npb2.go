@@ -23,7 +23,7 @@ type MG struct {
 func NewMG(class byte, procs int) *MG {
 	checkClass("MG", class)
 	if procs < 1 {
-		panic("workloads: MG needs at least 1 rank")
+		panic("workloads: MG needs at least 1 rank") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &MG{Class: class, Procs: procs}
 }
@@ -107,7 +107,7 @@ type LU struct {
 func NewLU(class byte, procs int) *LU {
 	checkClass("LU", class)
 	if procs < 1 {
-		panic("workloads: LU needs at least 1 rank")
+		panic("workloads: LU needs at least 1 rank") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &LU{Class: class, Procs: procs}
 }

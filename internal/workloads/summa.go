@@ -22,10 +22,10 @@ type Summa struct {
 // NewSumma returns an N×N multiply on a grid×grid rank layout.
 func NewSumma(n int64, grid int) *Summa {
 	if n <= 0 || grid <= 0 {
-		panic("workloads: SUMMA needs positive size and grid")
+		panic("workloads: SUMMA needs positive size and grid") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	if n%int64(grid) != 0 {
-		panic(fmt.Sprintf("workloads: SUMMA N=%d not divisible by grid %d", n, grid))
+		panic(fmt.Sprintf("workloads: SUMMA N=%d not divisible by grid %d", n, grid)) //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &Summa{N: n, Grid: grid}
 }

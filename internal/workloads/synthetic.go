@@ -24,7 +24,7 @@ type Synthetic struct {
 // NewSynthetic returns a random workload for the seed.
 func NewSynthetic(seed int64, procs, phases, iterations int) *Synthetic {
 	if procs < 1 || phases < 1 || iterations < 1 {
-		panic("workloads: synthetic needs positive procs, phases, iterations")
+		panic("workloads: synthetic needs positive procs, phases, iterations") //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	return &Synthetic{Seed: seed, Procs: procs, Phases: phases, Iterations: iterations}
 }

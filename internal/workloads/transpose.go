@@ -84,7 +84,7 @@ func (t *Transpose) redistSizes(src int) []int64 {
 // Run implements Workload.
 func (t *Transpose) Run(ctx Ctx) {
 	if ctx.Rank.Size() != t.Ranks() {
-		panic(fmt.Sprintf("workloads: transpose needs %d ranks, world has %d", t.Ranks(), ctx.Rank.Size()))
+		panic(fmt.Sprintf("workloads: transpose needs %d ranks, world has %d", t.Ranks(), ctx.Rank.Size())) //lint:allow panicfree (workload constructor config validation; callers pass literals)
 	}
 	me := ctx.Rank.ID()
 	r0, r1, c0, c1 := t.blockBounds(me)

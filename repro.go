@@ -386,5 +386,10 @@ type (
 // with outlier rejection.
 func DefaultConfig() Config { return cluster.DefaultConfig() }
 
-// NewRunner builds an experiment runner.
-func NewRunner(cfg Config) *Runner { return cluster.NewRunner(cfg) }
+// NewRunner builds an experiment runner, or reports why the
+// configuration is invalid.
+func NewRunner(cfg Config) (*Runner, error) { return cluster.NewRunner(cfg) }
+
+// MustRunner builds an experiment runner from a configuration known to
+// be valid (DefaultConfig plus tweaks); it panics on an invalid one.
+func MustRunner(cfg Config) *Runner { return cluster.MustRunner(cfg) }

@@ -10,7 +10,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	cfg.Settle = 30 * Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	runner := NewRunner(cfg)
+	runner := MustRunner(cfg)
 
 	c, err := runner.Sweep(NewSwim(40), Static{})
 	if err != nil {
@@ -123,7 +123,7 @@ func TestFacadePlatformsAndFabrics(t *testing.T) {
 	if Gigabit().BandwidthBytesPerSec <= Default100Mb().BandwidthBytesPerSec {
 		t.Fatal("gigabit")
 	}
-	if PentiumM14().Subdivide(7).Len() != 7 {
+	if PentiumM14().MustSubdivide(7).Len() != 7 {
 		t.Fatal("subdivide")
 	}
 	// Tree fabric through a runner config.
@@ -141,7 +141,7 @@ func TestFacadePlatformsAndFabrics(t *testing.T) {
 	}
 	ft := NewFT('A', 4)
 	ft.IterOverride = 1
-	res, err := NewRunner(cfg).RunOnce(ft, Static{}, 0, 1)
+	res, err := MustRunner(cfg).RunOnce(ft, Static{}, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestFacadeExtendedWorkloads(t *testing.T) {
 	cfg.Settle = 10 * Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
-	r := NewRunner(cfg)
+	r := MustRunner(cfg)
 
 	mg := NewMG('A', 4)
 	mg.IterOverride = 1
@@ -178,7 +178,7 @@ func TestFacadeTraceRecording(t *testing.T) {
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
 	cfg.TraceInterval = 100 * Millisecond
-	res, err := NewRunner(cfg).RunOnce(NewSwim(20), Static{}, 2, 1)
+	res, err := MustRunner(cfg).RunOnce(NewSwim(20), Static{}, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
