@@ -3,8 +3,9 @@
 GO      ?= go
 BIN     := bin
 REPOLINT := $(BIN)/repolint
+BENCHOUT := BENCH_sim.json
 
-.PHONY: all build test race lint vet vuln ci clean
+.PHONY: all build test race lint vet vuln bench ci clean
 
 all: build
 
@@ -14,8 +15,24 @@ build:
 test:
 	$(GO) test ./...
 
+# The plain -race sweep already covers everything; the second pass
+# re-runs the parallel drivers alone with -count=2 so the fan-out paths
+# get extra scheduler interleavings under the detector.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'Parallel|Map' ./internal/exec ./internal/cluster ./internal/campaign
+
+# Simulator throughput benchmarks, archived as NDJSON (one go test
+# -json event per line): the sim-kernel microbenches (ns/op and
+# allocs/op on the Schedule/Sleep hot path), the 8-cell campaign matrix
+# at parallelism 1 vs 8 (their ratio is the fan-out speedup on this
+# machine), and one end-to-end paper figure.
+bench:
+	: > $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench . -benchmem ./internal/sim >> $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench 'Campaign8' -benchmem ./internal/campaign >> $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench 'Fig3FTClassB' -benchmem . >> $(BENCHOUT)
+	@grep 'ns/op' $(BENCHOUT) | sed 's/.*"Output":"//;s/\\n.*//;s/\\t/  /g' || true
 
 $(REPOLINT): $(shell find internal/lint cmd/repolint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
 	@mkdir -p $(BIN)

@@ -38,7 +38,13 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of a table")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress on stderr")
 	example := flag.Bool("example", false, "print an example spec and exit")
+	jobs := flag.Int("j", 0, "max concurrent cells; overrides the spec's parallelism (0 = keep spec value, which defaults to one worker per CPU)")
 	flag.Parse()
+
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "campaign: -j must be non-negative")
+		os.Exit(2)
+	}
 
 	if *example {
 		fmt.Println(exampleSpec)
@@ -63,6 +69,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 		os.Exit(1)
+	}
+	if *jobs > 0 {
+		spec.Parallelism = *jobs
 	}
 
 	progress := func(line string) {

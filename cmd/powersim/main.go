@@ -93,6 +93,7 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions (outliers rejected)")
 	scale := flag.Int("scale", 1, "workload size multiplier")
 	exact := flag.Bool("exact", true, "report exact energy (false = ACPI battery protocol)")
+	jobs := flag.Int("j", 0, "max concurrent repetitions (0 = one worker per CPU, 1 = sequential)")
 	traceOut := flag.String("trace", "", "write a per-node power trace CSV to this file")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -140,6 +141,7 @@ func main() {
 	cfg.Reps = *reps
 	cfg.Settle = 30 * sim.Second
 	cfg.UseTrueEnergy = *exact
+	cfg.Parallelism = *jobs
 	if *traceOut != "" {
 		cfg.TraceInterval = 250 * sim.Millisecond
 	}
@@ -152,21 +154,31 @@ func main() {
 	table := cfg.Machine.Table
 	baseIdx := table.IndexOf(table.ClosestTo(repro.Hz(*mhz) * repro.MHz).Freq)
 
-	res, err := runner.RunOnce(w, strat, baseIdx, cfg.Seed)
+	agg, err := runner.Run(w, strat, baseIdx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
 		os.Exit(1)
 	}
+	res := agg.Runs[0]
 
 	fmt.Printf("workload %s, strategy %s, base point %s, %d ranks\n",
 		res.Workload, res.Strategy, res.Label, len(res.Nodes))
 	fmt.Printf("time-to-solution: %.2f s\n", res.Delay.Seconds())
 	fmt.Printf("energy: exact %.1f J, ACPI %.1f J, Baytech %.1f J\n",
 		float64(res.EnergyTrue), float64(res.EnergyACPI), float64(res.EnergyBaytech))
-	fmt.Printf("mean power per node: %.1f W\n\n",
+	fmt.Printf("mean power per node: %.1f W\n",
 		float64(res.EnergyTrue)/res.Delay.Seconds()/float64(len(res.Nodes)))
+	if len(agg.Runs) > 1 {
+		fmt.Printf("over %d reps (%d kept after outlier rejection): mean exact %.1f J, ACPI %.1f J, %.2f s\n",
+			len(agg.Runs), agg.Kept, float64(agg.EnergyTrue), float64(agg.EnergyACPI), agg.Delay.Seconds())
+	}
+	fmt.Println()
 
-	fmt.Println("per-node breakdown:")
+	if len(agg.Runs) > 1 {
+		fmt.Println("per-node breakdown (first repetition):")
+	} else {
+		fmt.Println("per-node breakdown:")
+	}
 	fmt.Printf("  %-5s %10s %8s %8s %6s   %s\n", "node", "energy(J)", "busy%", "idle%", "DVS#", "components (J)")
 	for i, nr := range res.Nodes {
 		busy := float64(nr.Busy) / float64(nr.Busy+nr.Idle) * 100

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dvfs"
 	"repro/internal/dvs"
+	"repro/internal/exec"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -37,6 +39,10 @@ type Spec struct {
 	Net string `json:"net,omitempty"`
 	// Seed feeds repetition jitter (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// Parallelism bounds how many cells of the cross product run
+	// concurrently (0 = one worker per CPU, 1 = sequential). Results
+	// are bit-identical at any setting; see cluster.Config.Parallelism.
+	Parallelism int `json:"parallelism,omitempty"`
 
 	// Workloads and Strategies form the cross product with PointsMHz.
 	Workloads  []WorkloadSpec `json:"workloads"`
@@ -44,6 +50,15 @@ type Spec struct {
 	// PointsMHz lists base operating points; empty means the full
 	// table. Ignored for cpuspeed (which owns the frequency).
 	PointsMHz []int `json:"points_mhz,omitempty"`
+
+	// Resolved during validate so the expensive constructions happen
+	// once: workload and strategy instances are built a single time and
+	// reused by Run (they are stateless across runs — per-run state
+	// lives in what Install returns), and Settle is parsed a single
+	// time with its error surfaced at Parse.
+	built  []workloads.Workload
+	strats []dvs.Strategy
+	settle sim.Duration
 }
 
 // WorkloadSpec names one workload instance.
@@ -104,40 +119,65 @@ func (s *Spec) validate() error {
 	if len(s.Strategies) == 0 {
 		return fmt.Errorf("campaign: no strategies")
 	}
-	for i := range s.Workloads {
-		if _, err := buildWorkload(s.Workloads[i]); err != nil {
-			return err
-		}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("campaign: negative parallelism")
 	}
-	for i := range s.Strategies {
-		if _, err := buildStrategy(s.Strategies[i]); err != nil {
+	s.built = make([]workloads.Workload, len(s.Workloads))
+	for i := range s.Workloads {
+		w, err := buildWorkload(s.Workloads[i])
+		if err != nil {
 			return err
 		}
+		s.built[i] = w
+	}
+	s.strats = make([]dvs.Strategy, len(s.Strategies))
+	for i := range s.Strategies {
+		st, err := buildStrategy(s.Strategies[i])
+		if err != nil {
+			return err
+		}
+		s.strats[i] = st
 	}
 	switch strings.ToLower(s.Net) {
 	case "", "100mb", "1gb":
 	default:
 		return fmt.Errorf("campaign: unknown net %q", s.Net)
 	}
+	s.settle = 0
 	if s.Settle != "" {
-		if _, err := time.ParseDuration(s.Settle); err != nil {
+		d, err := time.ParseDuration(s.Settle)
+		if err != nil {
 			return fmt.Errorf("campaign: bad settle: %w", err)
 		}
+		s.settle = sim.Duration(d.Nanoseconds())
 	}
 	return nil
 }
 
-// buildWorkload constructs the named workload.
+// buildWorkload constructs the named workload. NPB class letters and
+// rank counts are validated here so a bad spec surfaces as a parse
+// error rather than reaching (and panicking inside) the kernel
+// constructors.
 func buildWorkload(ws WorkloadSpec) (workloads.Workload, error) {
+	kind := strings.ToLower(ws.Kind)
 	class := byte('A')
 	if ws.Class != "" {
 		class = ws.Class[0]
+	}
+	switch kind {
+	case "ft", "ep", "cg", "is", "mg", "lu":
+		if len(ws.Class) > 1 || (class != 'A' && class != 'B' && class != 'C') {
+			return nil, fmt.Errorf("campaign: unknown NPB class %q for %s (want A, B, or C)", ws.Class, kind)
+		}
+	}
+	if ws.Procs < 0 {
+		return nil, fmt.Errorf("campaign: negative procs for %s", kind)
 	}
 	procs := ws.Procs
 	if procs == 0 {
 		procs = 8
 	}
-	switch strings.ToLower(ws.Kind) {
+	switch kind {
 	case "ft":
 		w := workloads.NewFT(class, procs)
 		w.IterOverride = ws.Iters
@@ -230,15 +270,15 @@ func buildStrategy(ss StrategySpec) (dvs.Strategy, error) {
 	}
 }
 
-// config assembles the runner configuration from the spec.
+// config assembles the runner configuration from the spec, which must
+// be resolved (Settle is parsed once, during validate).
 func (s *Spec) config() cluster.Config {
 	cfg := cluster.DefaultConfig()
 	if s.Reps > 0 {
 		cfg.Reps = s.Reps
 	}
 	if s.Settle != "" {
-		d, _ := time.ParseDuration(s.Settle) // validated in Parse
-		cfg.Settle = sim.Duration(d.Nanoseconds())
+		cfg.Settle = s.settle
 	}
 	if strings.EqualFold(s.Net, "1gb") {
 		cfg.Net = netsim.Gigabit()
@@ -246,6 +286,7 @@ func (s *Spec) config() cluster.Config {
 	if s.Seed != 0 {
 		cfg.Seed = s.Seed
 	}
+	cfg.Parallelism = s.Parallelism
 	cfg.UseTrueEnergy = s.ExactEnergy
 	return cfg
 }
@@ -270,9 +311,76 @@ func (s *Spec) points(table dvfs.Table) ([]int, error) {
 	return out, nil
 }
 
-// Run executes the whole matrix and returns one Result per cell.
-// progress, if non-nil, receives a line per completed cell.
+// cell is one entry of the campaign's cross product.
+type cell struct {
+	w     workloads.Workload
+	strat dvs.Strategy
+	idx   int
+}
+
+// cells expands the resolved spec into the flat, deterministic cell
+// list the worker pool fans out over.
+func (s *Spec) cells(idxs []int) []cell {
+	var out []cell
+	for _, w := range s.built {
+		for _, strat := range s.strats {
+			pts := idxs
+			if strat.Name() == "cpuspeed" {
+				pts = []int{0} // the daemon owns the frequency
+			}
+			for _, idx := range pts {
+				out = append(out, cell{w: w, strat: strat, idx: idx})
+			}
+		}
+	}
+	return out
+}
+
+// orderedProgress re-serializes per-cell completion lines into
+// submission order, so a parallel campaign reports the exact byte
+// stream a sequential one does (lines for later cells are held until
+// every earlier cell has reported).
+type orderedProgress struct {
+	fn      func(string)
+	mu      sync.Mutex
+	next    int
+	pending map[int]string
+}
+
+func newOrderedProgress(fn func(string)) *orderedProgress {
+	return &orderedProgress{fn: fn, pending: make(map[int]string)}
+}
+
+func (o *orderedProgress) done(i int, line string) {
+	if o.fn == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[i] = line
+	for {
+		l, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		o.next++
+		o.fn(l)
+	}
+}
+
+// Run executes the whole matrix and returns one Result per cell, in
+// cross-product order. Cells are independent simulations and fan out
+// across up to Parallelism workers; results (and progress lines, if
+// progress is non-nil) are merged in submission order, so the output
+// is bit-identical to a sequential run at any parallelism.
 func Run(s *Spec, progress func(string)) ([]Result, error) {
+	if s.built == nil {
+		// Specs assembled in code (not via Parse) resolve here.
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+	}
 	cfg := s.config()
 	runner, err := cluster.NewRunner(cfg)
 	if err != nil {
@@ -282,52 +390,35 @@ func Run(s *Spec, progress func(string)) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Result
-	for _, ws := range s.Workloads {
-		w, err := buildWorkload(ws)
+	cells := s.cells(idxs)
+	prog := newOrderedProgress(progress)
+	return exec.Map(cfg.Parallelism, len(cells), func(i int) (Result, error) {
+		c := cells[i]
+		agg, err := runner.Run(c.w, c.strat, c.idx)
 		if err != nil {
-			return nil, err
+			return Result{}, fmt.Errorf("campaign: %s/%s: %w", c.w.Name(), c.strat.Name(), err)
 		}
-		for _, ss := range s.Strategies {
-			strat, err := buildStrategy(ss)
-			if err != nil {
-				return nil, err
-			}
-			cells := idxs
-			if strat.Name() == "cpuspeed" {
-				cells = []int{0} // the daemon owns the frequency
-			}
-			for _, idx := range cells {
-				agg, err := runner.Run(w, strat, idx)
-				if err != nil {
-					return nil, fmt.Errorf("campaign: %s/%s: %w", w.Name(), strat.Name(), err)
-				}
-				energy := agg.EnergyACPI
-				if cfg.UseTrueEnergy {
-					energy = agg.EnergyTrue
-				}
-				label := cfg.Machine.Table.At(idx).Freq.String()
-				if strat.Name() == "cpuspeed" {
-					label = "auto"
-				}
-				res := Result{
-					Campaign: s.Name,
-					Workload: w.Name(),
-					Strategy: strat.Name(),
-					Point:    label,
-					EnergyJ:  float64(energy),
-					DelayS:   agg.Delay.Seconds(),
-					Reps:     agg.Kept,
-				}
-				out = append(out, res)
-				if progress != nil {
-					progress(fmt.Sprintf("%s %s@%s: %.0f J, %.2f s",
-						res.Workload, res.Strategy, res.Point, res.EnergyJ, res.DelayS))
-				}
-			}
+		energy := agg.EnergyACPI
+		if cfg.UseTrueEnergy {
+			energy = agg.EnergyTrue
 		}
-	}
-	return out, nil
+		label := cfg.Machine.Table.At(c.idx).Freq.String()
+		if c.strat.Name() == "cpuspeed" {
+			label = "auto"
+		}
+		res := Result{
+			Campaign: s.Name,
+			Workload: c.w.Name(),
+			Strategy: c.strat.Name(),
+			Point:    label,
+			EnergyJ:  float64(energy),
+			DelayS:   agg.Delay.Seconds(),
+			Reps:     agg.Kept,
+		}
+		prog.done(i, fmt.Sprintf("%s %s@%s: %.0f J, %.2f s",
+			res.Workload, res.Strategy, res.Point, res.EnergyJ, res.DelayS))
+		return res, nil
+	})
 }
 
 // WriteJSON emits the results as a JSON array.

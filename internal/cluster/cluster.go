@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/dvs"
+	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/meter"
 	"repro/internal/mpi"
@@ -54,6 +55,13 @@ type Config struct {
 
 	// Reps is how many times each experiment repeats (paper: ≥3).
 	Reps int
+	// Parallelism bounds how many independent simulation cells run
+	// concurrently: repetitions inside Run, operating points inside
+	// Sweep. Zero selects one worker per CPU (GOMAXPROCS); one forces
+	// sequential execution. Every cell owns its engine and cluster and
+	// seeds derive only from the cell index, so results are
+	// bit-identical at any setting.
+	Parallelism int
 	// OutlierK is the MAD cutoff for outlier rejection.
 	OutlierK float64
 	// Seed feeds the per-repetition jitter (battery charge phase,
@@ -151,6 +159,8 @@ func (c Config) Validate() error {
 		return errors.New("cluster: MaxSimTime must exceed the settle time")
 	case c.OutlierK < 0:
 		return errors.New("cluster: negative outlier cutoff")
+	case c.Parallelism < 0:
+		return errors.New("cluster: negative parallelism")
 	case c.TraceInterval < 0:
 		return errors.New("cluster: negative trace interval")
 	}
@@ -392,20 +402,25 @@ type Aggregate struct {
 
 // Run repeats the experiment cfg.Reps times with different jitter
 // seeds, rejects outliers on the measured (ACPI) energy, and averages.
+// Repetitions are independent simulations, so they fan out across up
+// to cfg.Parallelism workers; each repetition's seed depends only on
+// its index and results merge in repetition order, keeping the
+// aggregate bit-identical to a sequential run.
 func (r *Runner) Run(w workloads.Workload, strat dvs.Strategy, baseIdx int) (*Aggregate, error) {
 	reps := r.cfg.Reps
 	if reps < 1 {
 		reps = 1
 	}
-	agg := &Aggregate{}
-	var acpis []float64
-	for rep := 0; rep < reps; rep++ {
-		res, err := r.RunOnce(w, strat, baseIdx, r.cfg.Seed+int64(rep)*7919)
-		if err != nil {
-			return nil, err
-		}
-		agg.Runs = append(agg.Runs, res)
-		acpis = append(acpis, float64(res.EnergyACPI))
+	runs, err := exec.Map(r.cfg.Parallelism, reps, func(rep int) (*Result, error) {
+		return r.RunOnce(w, strat, baseIdx, r.cfg.Seed+int64(rep)*7919)
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Runs: runs}
+	acpis := make([]float64, len(runs))
+	for i, res := range runs {
+		acpis[i] = float64(res.EnergyACPI)
 	}
 	kept := stats.RejectOutliers(acpis, r.cfg.OutlierK)
 	keptSet := map[float64]int{}
@@ -447,23 +462,27 @@ func (r *Runner) reportedEnergy(agg *Aggregate) power.Joules {
 
 // Sweep runs the strategy at every operating point and returns the
 // energy-delay crescendo (measured energies, exact delays), highest
-// frequency first.
+// frequency first. Operating points fan out across up to
+// cfg.Parallelism workers; the crescendo is assembled in table order,
+// so it is bit-identical to a sequential sweep.
 func (r *Runner) Sweep(w workloads.Workload, strat dvs.Strategy) (core.Crescendo, error) {
 	table := r.cfg.Machine.Table
-	c := core.Crescendo{Workload: w.Name()}
-	for i := 0; i < table.Len(); i++ {
+	points, err := exec.Map(r.cfg.Parallelism, table.Len(), func(i int) (core.Point, error) {
 		agg, err := r.Run(w, strat, i)
 		if err != nil {
-			return core.Crescendo{}, err
+			return core.Point{}, err
 		}
-		c.Points = append(c.Points, core.Point{
+		return core.Point{
 			Label:  fmt.Sprintf("%s@%s", strat.Name(), table.At(i).Freq),
 			Freq:   table.At(i).Freq,
 			Energy: float64(r.reportedEnergy(agg)),
 			Delay:  agg.Delay.Seconds(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return core.Crescendo{}, err
 	}
-	return c, nil
+	return core.Crescendo{Workload: w.Name(), Points: points}, nil
 }
 
 // RunCpuspeed runs the cpuspeed strategy (whose base point is the boot

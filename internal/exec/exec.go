@@ -1,0 +1,96 @@
+// Package exec is the worker-pool scheduler that fans independent
+// simulation cells out across OS threads. Every experiment the paper
+// reports is a cross product of runs that are pure functions of
+// (config, seed) — the determinism analyzer enforces this — so cells
+// may execute in any order on any number of workers as long as their
+// results are merged back in submission order. Map provides exactly
+// that contract: bit-identical output at any parallelism, which the
+// sequential-vs-parallel equivalence tests in cluster and campaign
+// pin down.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallelism is the worker count used when a caller passes a
+// width of zero: one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Width normalizes a parallelism knob: zero (or negative) means
+// DefaultParallelism, anything else is taken literally.
+func Width(parallelism int) int {
+	if parallelism <= 0 {
+		return DefaultParallelism()
+	}
+	return parallelism
+}
+
+// Map runs fn(i) for every i in [0, n) on at most width concurrent
+// workers (width <= 0 selects DefaultParallelism) and returns the
+// results in index order. When fn is deterministic the returned slice
+// is identical to a sequential loop's, regardless of width.
+//
+// On error Map stops handing out new indices, waits for in-flight
+// calls, and returns a nil slice with the lowest-index error it
+// observed. Map fails exactly when a sequential loop over the same fn
+// would fail, though when several indices fail the reported one can
+// differ from the sequential first.
+func Map[T any](width, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	width = Width(width)
+	if width > n {
+		width = n
+	}
+	if width == 1 {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(width, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		want := make([]int, 20)
+		for i := range want {
+			want[i] = i * i
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("width %d: got %v", width, got)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map[int](4, 0, func(int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, width := range []int{1, 4} {
+		got, err := Map(width, 16, func(i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("width %d: err %v", width, err)
+		}
+		if got != nil {
+			t.Fatalf("width %d: results %v on error", width, got)
+		}
+	}
+}
+
+func TestMapErrorStopsNewWork(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(2, 1000, func(i int) (int, error) {
+		calls.Add(1)
+		return 0, fmt.Errorf("fail %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if c := calls.Load(); c > 4 {
+		t.Fatalf("%d calls after failure; want the pool to stop", c)
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Map(3, 50, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds width 3", p)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Width(0) != DefaultParallelism() || Width(-2) != DefaultParallelism() {
+		t.Fatal("zero/negative must map to the default")
+	}
+	if Width(5) != 5 {
+		t.Fatal("positive width must pass through")
+	}
+}

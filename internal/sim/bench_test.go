@@ -1,0 +1,128 @@
+package sim
+
+import "testing"
+
+// Engine hot-path microbenchmarks. `make bench` records these in
+// BENCH_sim.json so the events/sec and allocs/op trajectory of the
+// kernel is tracked across PRs. The Sleep/wake and Cond ping-pong
+// benches are the paths a cluster run hits millions of times (every
+// simulated compute burst, link hold, and MPI match).
+
+// BenchmarkSchedule measures the enqueue/dispatch cost of plain
+// callback events: one pending event at a time, b.N rounds.
+func BenchmarkSchedule(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	defer e.Close()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(Microsecond, tick)
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSleepWake measures the full block/wake round trip of one
+// process sleeping b.N times: two channel handoffs plus an
+// allocation-free evWake event each iteration.
+func BenchmarkSleepWake(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	defer e.Close()
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCondPingPong measures the deliver path (evDeliver with a
+// boxed value) between two processes trading a token b.N times.
+func BenchmarkCondPingPong(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	defer e.Close()
+	ping, pong := NewCond(e), NewCond(e)
+	// pong is spawned first so it is already parked on its Cond when
+	// ping's first Signal fires.
+	e.Spawn("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			pong.Wait(p)
+			ping.Signal(nil)
+		}
+	})
+	e.Spawn("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			pong.Signal(i)
+			ping.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMailbox measures the mailbox fast path: a producer putting
+// into a drained mailbox hands the message straight to the waiting
+// consumer.
+func BenchmarkMailbox(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	defer e.Close()
+	mb := NewMailbox(e)
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			mb.Put(i)
+			p.Sleep(Microsecond)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			mb.Recv(p)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHeapChurn measures raw queue push/pop with a deterministic
+// spread of timestamps: a standing population of 1024 events, one
+// pop+push per iteration — the steady-state shape of a cluster run.
+func BenchmarkHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	var h eventHeap
+	const pop = 1024
+	// xorshift keeps timestamps deterministic without math/rand.
+	x := uint64(0x9E3779B97F4A7C15)
+	rnd := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	seq := uint64(0)
+	for i := 0; i < pop; i++ {
+		seq++
+		h.push(event{t: Time(rnd() % 1_000_000), seq: seq})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := h.pop()
+		seq++
+		h.push(event{t: ev.t + Time(rnd()%1024), seq: seq})
+	}
+}

@@ -48,11 +48,25 @@ func (e *Engine) Now() Time { return e.now }
 // Scheduling in the past (t < Now) panics: it would silently reorder
 // causality and make runs non-reproducible.
 func (e *Engine) Schedule(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: Schedule at %v before now %v", t, e.now)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
+	e.scheduleEvent(event{t: t, kind: evCall, fn: fn})
+}
+
+// scheduleEvent is the common enqueue path: it stamps the determinism
+// sequence number and pushes. Process wakes go through here with a kind
+// and an intrusive *Proc instead of a closure, so the hot block/wake
+// path allocates nothing. The past-time check calls out to a separate
+// panic helper to keep this function inlinable.
+func (e *Engine) scheduleEvent(ev event) {
+	if ev.t < e.now {
+		e.schedulePastPanic(ev.t)
 	}
 	e.seq++
-	e.queue.push(event{t: t, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	e.queue.push(ev)
+}
+
+func (e *Engine) schedulePastPanic(t Time) {
+	panic(fmt.Sprintf("sim: Schedule at %v before now %v", t, e.now)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 }
 
 // After arranges for fn to run d from now. Negative d is treated as zero.
@@ -93,7 +107,11 @@ func (e *Engine) Run(limit Time) (Time, error) {
 		if ev.t > e.now {
 			e.now = ev.t
 		}
-		ev.fn()
+		if ev.kind == evCall { // fast path: no dispatch call for plain events
+			ev.fn()
+		} else {
+			e.resumeProc(ev.kind, ev.p)
+		}
 		if e.failure != nil {
 			return e.now, e.failure
 		}
@@ -102,6 +120,40 @@ func (e *Engine) Run(limit Time) (Time, error) {
 		return e.now, fmt.Errorf("%w (%d blocked)", ErrDeadlock, e.blocked)
 	}
 	return e.now, nil
+}
+
+// resumeProc fires a process-lifecycle event. Each kind checks the
+// target's state first: a stale wake (the engine was closed and the
+// process reaped, or a start raced a kill) is dropped, mirroring the
+// guards the closure-based events used to carry. Delivered values are
+// already sitting in p.wakeVal (deliverAt stores them when the wake is
+// scheduled), so no payload crosses the event queue.
+func (e *Engine) resumeProc(kind eventKind, p *Proc) {
+	var want procState
+	switch kind {
+	case evStart:
+		want = procCreated
+	case evWake:
+		want = procParked
+	case evDeliver:
+		want = procWaking
+	}
+	if p.state != want {
+		return
+	}
+	if e.Trace != nil {
+		switch kind {
+		case evStart:
+			e.tracef("proc %s: start", p.name)
+		case evWake:
+			e.tracef("proc %s: wake", p.name)
+		case evDeliver:
+			e.tracef("proc %s: resume", p.name)
+		}
+	}
+	p.state = procRunning
+	p.resume <- resumeGo
+	<-e.park
 }
 
 // Pending reports the number of events waiting in the queue.

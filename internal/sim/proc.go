@@ -59,15 +59,7 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	}
 	e.procs[p] = struct{}{}
 	go p.run(fn)
-	e.Schedule(t, func() {
-		if p.state != procCreated { // engine closed/killed meanwhile
-			return
-		}
-		e.tracef("proc %s: start", p.name)
-		p.state = procRunning
-		p.resume <- resumeGo
-		<-e.park
-	})
+	e.scheduleEvent(event{t: t, kind: evStart, p: p})
 	return p
 }
 
@@ -138,16 +130,11 @@ func (p *Proc) deliverAt(t Time, val any) {
 		p.counted = false
 		p.eng.blocked--
 	}
-	p.eng.Schedule(t, func() {
-		if p.state != procWaking {
-			return // engine closed and the process was reaped
-		}
-		p.eng.tracef("proc %s: resume", p.name)
-		p.state = procRunning
-		p.wakeVal = val
-		p.resume <- resumeGo
-		<-p.eng.park
-	})
+	// Store the value on the process now rather than boxing it into the
+	// event: the procWaking transition guarantees no other waker can
+	// touch wakeVal before the resume fires.
+	p.wakeVal = val
+	p.eng.scheduleEvent(event{t: t, kind: evDeliver, p: p})
 }
 
 // Name returns the name given at Spawn.
@@ -167,17 +154,10 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	// Queue the wake before parking. The engine cannot run events while
 	// this process holds control, so the wake cannot fire early; the
-	// procParked guard protects against firing after a Close reaped us.
-	p.eng.Schedule(p.eng.now.Add(d), func() {
-		if p.state != procParked {
-			return
-		}
-		p.eng.tracef("proc %s: wake", p.name)
-		p.state = procRunning
-		p.wakeVal = nil
-		p.resume <- resumeGo
-		<-p.eng.park
-	})
+	// evWake dispatch's procParked guard protects against firing after a
+	// Close reaped us. No closure and no boxed wake value: the entire
+	// Sleep/wake round trip is allocation-free.
+	p.eng.scheduleEvent(event{t: p.eng.now.Add(d), kind: evWake, p: p})
 	p.yield(false)
 }
 
