@@ -1,11 +1,13 @@
 // Command repolint runs the repository's analyzer suite (determinism,
-// floateq, unitsafety, panicfree — see internal/lint) in two modes:
+// floateq, unitsafety, panicfree, sharedstate, concsafety, erraudit —
+// see internal/lint) in two modes:
 //
 // Standalone, against package patterns, loading and type-checking the
 // module itself:
 //
 //	go run ./cmd/repolint ./...
 //	repolint -only determinism,panicfree ./internal/...
+//	repolint -json ./...   # one JSON object per line, suppressions included
 //
 // And as a vet tool, speaking the go vet driver protocol (the -V=full
 // handshake, the -flags query, and the JSON .cfg package description
@@ -42,6 +44,8 @@ func main() {
 	versionFlag := flag.String("V", "", "print version and exit (go vet handshake)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonOut := flag.Bool("json", false,
+		"standalone mode: print one JSON object per diagnostic (including suppressed ones) to stdout")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -64,7 +68,7 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetUnit(args[0], analyzers))
 	}
-	os.Exit(runStandalone(args, analyzers))
+	os.Exit(runStandalone(args, analyzers, *jsonOut))
 }
 
 func usage() {
@@ -115,15 +119,27 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
+// jsonDiagnostic is the -json wire format: one object per line, stable
+// field set, so CI can diff lint state between commits. Suppressed
+// findings appear with Suppressed=true (and do not affect the exit
+// status) — the diff then shows suppressions being added or retired.
+type jsonDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	Pos        string `json:"pos"` // file:line:col
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 // runStandalone loads packages with the module-aware loader and runs
 // every analyzer over every package.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	fset := token.NewFileSet()
 	pkgs, err := loader.Load(fset, ".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		return 1
 	}
+	enc := json.NewEncoder(os.Stdout)
 	found := 0
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -133,13 +149,39 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 				return 1
 			}
 			for _, d := range pass.Diagnostics() {
-				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+				if jsonOut {
+					if err := enc.Encode(jsonDiagnostic{
+						Analyzer: d.Analyzer,
+						Pos:      fset.Position(d.Pos).String(),
+						Message:  d.Message,
+					}); err != nil {
+						fmt.Fprintln(os.Stderr, "repolint:", err)
+						return 1
+					}
+				} else {
+					fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+				}
 				found++
+			}
+			if jsonOut {
+				for _, s := range pass.Suppressed() {
+					if err := enc.Encode(jsonDiagnostic{
+						Analyzer:   s.Analyzer,
+						Pos:        fset.Position(s.Pos).String(),
+						Message:    s.Message,
+						Suppressed: true,
+					}); err != nil {
+						fmt.Fprintln(os.Stderr, "repolint:", err)
+						return 1
+					}
+				}
 			}
 		}
 	}
 	if found > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d diagnostic(s)\n", found)
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "repolint: %d diagnostic(s)\n", found)
+		}
 		return 2
 	}
 	return 0

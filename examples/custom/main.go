@@ -83,7 +83,12 @@ func (g *proportional) Install(ctx repro.StrategyInstallCtx) repro.RegionPolicy 
 					idx = table.Len() - 1
 				}
 				if idx != n.OPIndex() {
-					n.SetOperatingPointIndex(p, idx)
+					if err := n.SetOperatingPointIndex(p, idx); err != nil {
+						// The index is clamped to the table, so this is
+						// unreachable; if it ever fires, stop the daemon
+						// rather than keep issuing bad transitions.
+						return
+					}
 				}
 			}
 		})

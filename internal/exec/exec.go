@@ -38,6 +38,12 @@ func Width(parallelism int) int {
 // observed. Map fails exactly when a sequential loop over the same fn
 // would fail, though when several indices fail the reported one can
 // differ from the sequential first.
+//
+// A panic in fn is not swallowed and cannot deadlock the pool: the
+// worker recovers it, the pool drains, and Map re-panics with the
+// original value on the calling goroutine — again matching what a
+// sequential loop would do. When both errors and panics occur, the
+// lowest failing index wins.
 func Map[T any](width, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -60,11 +66,31 @@ func Map[T any](width, n int, fn func(i int) (T, error)) ([]T, error) {
 
 	out := make([]T, n)
 	errs := make([]error, n)
+	pans := make([]any, n)
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
 		wg     sync.WaitGroup
 	)
+	// call runs one index, converting a panic into a recorded failure
+	// so the worker loop (and Wait) always completes.
+	call := func(i int) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				pans[i] = r
+				failed.Store(true)
+				ok = false
+			}
+		}()
+		v, err := fn(i)
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return false
+		}
+		out[i] = v
+		return true
+	}
 	wg.Add(width)
 	for w := 0; w < width; w++ {
 		go func() {
@@ -74,21 +100,23 @@ func Map[T any](width, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := fn(i)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
+				if !call(i) {
 					return
 				}
-				out[i] = v
 			}
 		}()
 	}
 	wg.Wait()
 	if failed.Load() {
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			if pans[i] != nil {
+				// Re-raising the worker's original panic value keeps Map
+				// transparent to a sequential loop; this is propagation,
+				// not a new failure mode.
+				panic(pans[i]) //lint:allow panicfree (re-panics the worker's original panic value on the caller)
 			}
 		}
 	}

@@ -41,6 +41,18 @@ type Diagnostic struct {
 	Message  string
 }
 
+// A SuppressedDiagnostic is a finding an analyzer produced that a
+// "//lint:allow" directive silenced, together with the directive that
+// did so. Drivers use it for -json reporting and the suppression
+// meta-test uses it to prove every directive still earns its keep.
+type SuppressedDiagnostic struct {
+	Diagnostic
+	// DirectiveFile/DirectiveLine locate the directive that covered
+	// the diagnostic (the diagnostic's own line or the line above).
+	DirectiveFile string
+	DirectiveLine int
+}
+
 // A Pass connects an Analyzer to the single package being analyzed.
 // Drivers populate every field; analyzers only read them and call
 // Report/Reportf.
@@ -53,6 +65,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diagnostics []Diagnostic
+	suppressed  []SuppressedDiagnostic
 	allow       suppressions
 }
 
@@ -71,16 +84,25 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 
 // Reportf records a diagnostic at pos unless a "//lint:allow" comment
 // naming this analyzer covers the position's line (or the line above,
-// for suppressions written on their own line).
+// for suppressions written on their own line). Suppressed diagnostics
+// are retained and available through Suppressed, so drivers can report
+// them and the suppression meta-test can detect directives that no
+// longer silence anything.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.allow.covers(p.Fset, pos, p.Analyzer.Name) {
-		return
-	}
-	p.diagnostics = append(p.diagnostics, Diagnostic{
+	d := Diagnostic{
 		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if file, line, ok := p.allow.covers(p.Fset, pos, p.Analyzer.Name); ok {
+		p.suppressed = append(p.suppressed, SuppressedDiagnostic{
+			Diagnostic:    d,
+			DirectiveFile: file,
+			DirectiveLine: line,
+		})
+		return
+	}
+	p.diagnostics = append(p.diagnostics, d)
 }
 
 // Diagnostics returns the findings recorded so far, in source order.
@@ -91,71 +113,127 @@ func (p *Pass) Diagnostics() []Diagnostic {
 	return out
 }
 
-// suppressions maps file name -> line -> analyzer names allowed there.
-type suppressions map[string]map[int][]string
+// Suppressed returns the diagnostics that "//lint:allow" directives
+// silenced, in source order.
+func (p *Pass) Suppressed() []SuppressedDiagnostic {
+	out := make([]SuppressedDiagnostic, len(p.suppressed))
+	copy(out, p.suppressed)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
 
-const allowMarker = "lint:allow"
+// A Directive is one parsed "//lint:allow" suppression comment. The
+// grammar is deliberately rigid so suppressions stay greppable and
+// auditable:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] (<reason>)
+//
+// The comment must begin exactly with "//lint:allow" (prose that merely
+// mentions the marker, like this paragraph, is not a directive), the
+// analyzer list is comma-separated, and the reason is a non-empty
+// parenthesized explanation. Problem records the first grammar
+// violation; a directive with a non-empty Problem still suppresses (so
+// a typo never un-gates a build silently) but fails the repository's
+// suppression meta-test.
+type Directive struct {
+	Pos       token.Pos
+	File      string
+	Line      int
+	Analyzers []string
+	Reason    string
+	Problem   string // "" when well-formed
+}
 
-// indexSuppressions scans every comment for the allow marker. The
-// accepted forms are
-//
-//	expr // lint:allow floateq
-//	//lint:allow panicfree (kernel invariant)
-//	//lint:allow determinism,floateq
-//
-// i.e. the marker followed by a comma-separated analyzer list; anything
-// after the list (a parenthesized reason, prose) is ignored.
-func indexSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	s := make(suppressions)
+const allowMarker = "//lint:allow"
+
+// ParseDirectives extracts every "//lint:allow" directive from the
+// files, in source order. Only comments that start exactly with the
+// marker count; the directive applies to its own line and the line
+// below (for a directive written on its own line).
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := c.Text
-				i := strings.Index(text, allowMarker)
-				if i < 0 {
-					continue
-				}
-				rest := strings.TrimSpace(text[i+len(allowMarker):])
-				names := strings.FieldsFunc(rest, func(r rune) bool {
-					return r == ' ' || r == '\t' || r == '('
-				})
-				if len(names) == 0 {
+				if !strings.HasPrefix(c.Text, allowMarker) {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := s[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					s[pos.Filename] = lines
+				d := Directive{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+				rest := c.Text[len(allowMarker):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					d.Problem = "malformed directive: expected a space after //lint:allow"
+					out = append(out, d)
+					continue
 				}
-				for _, name := range strings.Split(names[0], ",") {
+				rest = strings.TrimSpace(rest)
+				names := rest
+				if i := strings.IndexAny(rest, " \t("); i >= 0 {
+					names = rest[:i]
+					rest = strings.TrimSpace(rest[i:])
+				} else {
+					rest = ""
+				}
+				for _, name := range strings.Split(names, ",") {
 					if name = strings.TrimSpace(name); name != "" {
-						lines[pos.Line] = append(lines[pos.Line], name)
+						d.Analyzers = append(d.Analyzers, name)
 					}
 				}
+				switch {
+				case len(d.Analyzers) == 0:
+					d.Problem = "malformed directive: missing analyzer name"
+				case !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")"):
+					d.Problem = "missing (reason)"
+				case strings.TrimSpace(rest[1:len(rest)-1]) == "":
+					d.Problem = "empty (reason)"
+				default:
+					d.Reason = strings.TrimSpace(rest[1 : len(rest)-1])
+				}
+				out = append(out, d)
 			}
 		}
+	}
+	return out
+}
+
+// suppressions maps file name -> line -> analyzer names allowed there.
+type suppressions map[string]map[int][]string
+
+// indexSuppressions folds parsed directives into the per-line lookup
+// Reportf consults. Malformed directives still index (suppression must
+// never silently stop working because of a typo in the reason); the
+// suppression meta-test is where malformedness fails the build.
+func indexSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := make(suppressions)
+	for _, d := range ParseDirectives(fset, files) {
+		lines := s[d.File]
+		if lines == nil {
+			lines = make(map[int][]string)
+			s[d.File] = lines
+		}
+		lines[d.Line] = append(lines[d.Line], d.Analyzers...)
 	}
 	return s
 }
 
-// covers reports whether analyzer name is allowed at pos: a suppression
-// on the same line, or on the line directly above (a comment on its own
-// line applying to the statement below).
-func (s suppressions) covers(fset *token.FileSet, pos token.Pos, name string) bool {
+// covers reports whether analyzer name is allowed at pos — by a
+// directive on the same line, or on the line directly above (a comment
+// on its own line applying to the statement below) — and if so, which
+// file and line the directive sits on.
+func (s suppressions) covers(fset *token.FileSet, pos token.Pos, name string) (file string, line int, ok bool) {
 	p := fset.Position(pos)
 	lines := s[p.Filename]
 	if lines == nil {
-		return false
+		return "", 0, false
 	}
-	for _, line := range []int{p.Line, p.Line - 1} {
-		for _, n := range lines[line] {
-			if n == name || n == "all" {
-				return true
+	for _, l := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name {
+				return p.Filename, l, true
 			}
 		}
 	}
-	return false
+	return "", 0, false
 }
 
 // IsTestFile reports whether the file containing pos is a _test.go

@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+const directiveSrc = `package p
+
+// This doc comment mentions //lint:allow in prose, which is not a
+// directive because the comment does not begin with the marker.
+func f() {
+	a := 1 //lint:allow panicfree (kernel invariant)
+	b := 2 //lint:allow determinism,floateq (golden comparison)
+	c := 3 //lint:allow panicfree
+	d := 4 //lint:allow panicfree ()
+	e := 5 //lint:allow
+	g := 6 //lint:allowpanicfree (missing space)
+	_, _, _, _, _, _ = a, b, c, d, e, g
+}
+`
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, files := parseOne(t, directiveSrc)
+	ds := analysis.ParseDirectives(fset, files)
+	if len(ds) != 6 {
+		t.Fatalf("got %d directives, want 6 (prose mention must not parse): %+v", len(ds), ds)
+	}
+	want := []struct {
+		analyzers []string
+		reason    string
+		problem   string
+	}{
+		{[]string{"panicfree"}, "kernel invariant", ""},
+		{[]string{"determinism", "floateq"}, "golden comparison", ""},
+		{[]string{"panicfree"}, "", "missing (reason)"},
+		{[]string{"panicfree"}, "", "empty (reason)"},
+		{nil, "", "malformed directive: missing analyzer name"},
+		{nil, "", "malformed directive: expected a space after //lint:allow"},
+	}
+	for i, w := range want {
+		d := ds[i]
+		if d.Problem != w.problem {
+			t.Errorf("directive %d: problem = %q, want %q", i, d.Problem, w.problem)
+		}
+		if d.Reason != w.reason {
+			t.Errorf("directive %d: reason = %q, want %q", i, d.Reason, w.reason)
+		}
+		if got := strings.Join(d.Analyzers, ","); got != strings.Join(w.analyzers, ",") {
+			t.Errorf("directive %d: analyzers = %q, want %q", i, got, strings.Join(w.analyzers, ","))
+		}
+		if d.File != "p.go" || d.Line == 0 {
+			t.Errorf("directive %d: bad position %s:%d", i, d.File, d.Line)
+		}
+	}
+}
+
+// TestSuppressionRoundTrip drives Reportf directly: a covered position
+// lands in Suppressed with the directive's site; an uncovered one (and
+// a different analyzer at the covered line) stays a live diagnostic.
+func TestSuppressionRoundTrip(t *testing.T) {
+	src := `package p
+
+func f() {
+	x := 1 //lint:allow testcheck (known exception)
+
+	y := 2
+	_, _ = x, y
+}
+`
+	fset, files := parseOne(t, src)
+	a := &analysis.Analyzer{Name: "testcheck", Doc: "test"}
+	other := &analysis.Analyzer{Name: "othercheck", Doc: "test"}
+
+	// First assignment is on the directive's line; the second sits two
+	// lines below, outside the directive's reach (its own line or the
+	// line directly beneath it).
+	var assigns []token.Pos
+	ast.Inspect(files[0], func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			assigns = append(assigns, as.Pos())
+		}
+		return true
+	})
+	if len(assigns) < 2 {
+		t.Fatal("fixture positions not found")
+	}
+	coveredPos, uncoveredPos := assigns[0], assigns[1]
+
+	pass := analysis.NewPass(a, fset, files, nil, nil)
+	pass.Reportf(coveredPos, "finding at covered line")
+	pass.Reportf(uncoveredPos, "finding at uncovered line")
+	if got := pass.Diagnostics(); len(got) != 1 || !strings.Contains(got[0].Message, "uncovered") {
+		t.Fatalf("Diagnostics = %+v, want exactly the uncovered finding", got)
+	}
+	sup := pass.Suppressed()
+	if len(sup) != 1 {
+		t.Fatalf("Suppressed = %+v, want exactly the covered finding", sup)
+	}
+	if sup[0].DirectiveFile != "p.go" || sup[0].DirectiveLine != fset.Position(coveredPos).Line {
+		t.Errorf("suppressed finding records directive site %s:%d, want p.go:%d",
+			sup[0].DirectiveFile, sup[0].DirectiveLine, fset.Position(coveredPos).Line)
+	}
+
+	otherPass := analysis.NewPass(other, fset, files, nil, nil)
+	otherPass.Reportf(coveredPos, "different analyzer at covered line")
+	if got := otherPass.Diagnostics(); len(got) != 1 {
+		t.Fatalf("directive must only cover the analyzer it names; got %+v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/repolint"
+)
+
+// BenchmarkRepolintModule measures one full lint pass — module load,
+// parse, type-check, and all seven analyzers over every package — which
+// is what `make lint` and the clean-lint meta-test pay on every run.
+// `make bench` appends this to BENCH_sim.json so lint wall-time
+// regressions are tracked alongside simulator throughput.
+func BenchmarkRepolintModule(b *testing.B) {
+	root := moduleRoot(b)
+	for i := 0; i < b.N; i++ {
+		fset := token.NewFileSet()
+		pkgs, err := loader.Load(fset, root, "./...")
+		if err != nil {
+			b.Fatalf("loading module packages: %v", err)
+		}
+		if len(pkgs) == 0 {
+			b.Fatal("loader returned no packages")
+		}
+		diags := 0
+		for _, pkg := range pkgs {
+			for _, a := range repolint.Analyzers {
+				pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+				if err := a.Run(pass); err != nil {
+					b.Fatalf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+				}
+				diags += len(pass.Diagnostics())
+			}
+		}
+		if diags != 0 {
+			b.Fatalf("module not lint-clean during benchmark: %d diagnostics", diags)
+		}
+	}
+}

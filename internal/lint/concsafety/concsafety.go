@@ -1,0 +1,391 @@
+// Package concsafety defines the analyzer for goroutine, channel, and
+// WaitGroup discipline. The repository's only sanctioned concurrency
+// lives in internal/exec (the bounded worker pool) and internal/sim
+// (the coroutine-style process scheduler); everything else is supposed
+// to be sequential. This analyzer polices the patterns that break that
+// story in ways the race detector only catches when the schedule
+// cooperates:
+//
+//   - wg.Add called inside the spawned goroutine instead of before the
+//     go statement, so Wait can return before the goroutine is counted;
+//   - a send on an unbuffered channel that provably has no receiver
+//     (the channel never escapes the function and the send is not
+//     paired with any concurrent receive), which deadlocks;
+//   - a go statement whose function performs no synchronization and
+//     calls nothing that could — a goroutine with no join path, which
+//     outlives the caller silently and leaks;
+//   - sync.Mutex (or any type containing one) copied by value — as a
+//     parameter, receiver, result, assignment, or range variable —
+//     which forks the lock state.
+//
+// The checks use the callgraph facts (Syncs, UnknownCalls) so that a
+// goroutine whose body calls a helper that does channel sends is not
+// flagged: only provably join-free goroutines are.
+package concsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Analyzer flags goroutine/channel/WaitGroup misuse and by-value lock
+// copies.
+var Analyzer = &analysis.Analyzer{
+	Name: "concsafety",
+	Doc: "flag WaitGroup.Add inside the spawned goroutine, sends on channels " +
+		"with no possible receiver, goroutines with no join path, and " +
+		"sync.Mutex values copied by value",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !analysis.IsTestFile(pass.Fset, f.Pos()) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	g := callgraph.Build(pass.Fset, files, pass.TypesInfo)
+	for _, f := range files {
+		checkAddInsideGo(pass, f)
+		checkNoJoin(pass, g, f)
+		checkDeadSend(pass, f)
+		checkCopyLocks(pass, f)
+	}
+	return nil
+}
+
+// checkAddInsideGo flags wg.Add(...) as the first actions of a function
+// run by a go statement: the counter must be incremented before the
+// goroutine is spawned, or Wait can win the race and return early.
+func checkAddInsideGo(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isWaitGroupMethod(pass.TypesInfo, call, "Add") {
+				pass.Reportf(call.Pos(), "WaitGroup.Add inside the spawned goroutine; "+
+					"call Add before the go statement so Wait cannot return early")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isWaitGroupMethod reports whether call invokes sync.WaitGroup's
+// method name.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// checkNoJoin flags go statements spawning a function literal that
+// performs no synchronization and transitively calls nothing that could
+// — a goroutine the rest of the program can never wait for.
+func checkNoJoin(pass *analysis.Pass, g *callgraph.Graph, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true // named funcs: body may be cross-package; skip
+		}
+		node := g.LitNode(lit)
+		if node == nil {
+			return true
+		}
+		if mayJoin(g, node) {
+			return true
+		}
+		pass.Reportf(gs.Go, "goroutine has no join path: it performs no channel, "+
+			"sync, or atomic operation and calls nothing that could; the caller "+
+			"cannot wait for it")
+		return true
+	})
+}
+
+// mayJoin reports whether any node reachable from n could synchronize:
+// its own Syncs fact, or an unknown call that might.
+func mayJoin(g *callgraph.Graph, n *callgraph.Node) bool {
+	for node := range g.Reachable(n) {
+		if node.Syncs || node.UnknownCalls {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeadSend flags a send on an unbuffered channel that is local to
+// the function, never escapes it (no goroutine, call argument, return,
+// or assignment carries it away), and where the send statement itself
+// is not inside a select, go statement, or nested literal — a send
+// that must block forever.
+func checkDeadSend(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		checkDeadSendIn(pass, fd.Body)
+	}
+}
+
+func checkDeadSendIn(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Find channels created by make(chan T) with no buffer, bound by :=
+	// to a simple local.
+	locals := map[*types.Var]token.Pos{} // chan var -> decl pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue // make with a buffer arg, or not a call
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				continue
+			}
+			if _, isChan := pass.TypesInfo.TypeOf(call.Args[0]).(*types.Chan); !isChan {
+				continue
+			}
+			lhs, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[lhs].(*types.Var); ok {
+				locals[v] = lhs.Pos()
+			}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+
+	// A channel escapes if it is mentioned anywhere other than a
+	// top-level (not inside go/select/FuncLit) send or receive in this
+	// body. Collect top-level sends per channel along the way.
+	type use struct {
+		escapes  bool
+		sends    []*ast.SendStmt
+		receives bool
+	}
+	uses := map[*types.Var]*use{}
+	for v := range locals {
+		uses[v] = &use{}
+	}
+	chanVar := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if v != nil && uses[v] != nil {
+			return v
+		}
+		return nil
+	}
+	var walk func(n ast.Node, concurrent bool)
+	walk = func(root ast.Node, concurrent bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case nil:
+				return false
+			case *ast.GoStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.SelectStmt:
+				walk(n.Body, true)
+				return false
+			case *ast.FuncLit:
+				if n != root {
+					walk(n.Body, true)
+					return false
+				}
+			case *ast.SendStmt:
+				if v := chanVar(n.Chan); v != nil {
+					if concurrent {
+						uses[v].receives = true // paired contexts count as alive
+					} else {
+						uses[v].sends = append(uses[v].sends, n)
+					}
+					walk(n.Value, concurrent)
+					return false
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if v := chanVar(n.X); v != nil {
+						uses[v].receives = true
+						return false
+					}
+				}
+			case *ast.RangeStmt:
+				if v := chanVar(n.X); v != nil {
+					uses[v].receives = true
+					walk(n.Body, concurrent)
+					return false
+				}
+			case *ast.Ident:
+				if v := chanVar(n); v != nil {
+					// Any other mention: passed, returned, closed,
+					// reassigned — treat as escaped.
+					if locals[v] != n.Pos() {
+						uses[v].escapes = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	for v, u := range uses {
+		if u.escapes || u.receives {
+			continue
+		}
+		for _, s := range u.sends {
+			pass.Reportf(s.Arrow, "send on unbuffered channel %s with no possible receiver: "+
+				"the channel never leaves this function and nothing receives from it",
+				v.Name())
+		}
+	}
+}
+
+// checkCopyLocks flags values of types containing a sync lock being
+// copied: by-value parameters, receivers, results, plain assignments
+// from a dereference or variable, and range variables.
+func checkCopyLocks(pass *analysis.Pass, f *ast.File) {
+	report := func(pos token.Pos, what string, t types.Type) {
+		pass.Reportf(pos, "%s copies lock: %s contains a sync lock; use a pointer",
+			what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil || !containsLock(t, nil) {
+				continue
+			}
+			pos := field.Pos()
+			report(pos, what, t)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(n.Recv, "receiver")
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				// Copying an existing lock-bearing value: x := y or
+				// x := *p. Composite literals and function results
+				// construct fresh values and are fine.
+				switch ast.Unparen(rhs).(type) {
+				case *ast.Ident, *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr:
+				default:
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(rhs)
+				if t != nil && containsLock(t, nil) {
+					report(n.Pos(), "assignment", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(n.Value)
+			if t != nil && containsLock(t, nil) {
+				report(n.Value.Pos(), "range value", t)
+			}
+		}
+		return true
+	})
+}
+
+// containsLock reports whether t (passed by value) contains a sync
+// lock: sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond,
+// sync.Pool, sync.Map, or any struct/array embedding one. seen guards
+// recursive types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if pkg := t.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+			switch t.Obj().Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return false
+}

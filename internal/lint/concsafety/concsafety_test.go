@@ -1,0 +1,17 @@
+package concsafety_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/concsafety"
+)
+
+func TestConcSafety(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, concsafety.Analyzer, "fixtures/concsafety")
+}

@@ -1,0 +1,188 @@
+// Package erraudit defines the analyzer that keeps the module's error
+// returns meaningful: a call to an intra-module function whose result
+// list includes an error must have that error consumed. Dropping the
+// whole result list (a bare call statement) is flagged; explicitly
+// assigning the error to the blank identifier is flagged too, unless a
+// "//lint:allow erraudit (<reason>)" directive explains why discarding
+// is sound. Cross-module calls (stdlib, mostly fmt printing) are out of
+// scope — their error contracts are not this repository's to police,
+// and flagging fmt.Println would bury the signal.
+package erraudit
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags discarded error returns from intra-module calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "erraudit",
+	Doc: "forbid discarding error returns from intra-module calls, either by " +
+		"ignoring the result list or assigning the error to _; handle it, " +
+		"return it, or suppress with //lint:allow erraudit (reason)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	modulePrefix := moduleOf(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := dropsError(pass.TypesInfo, call, modulePrefix); ok {
+					pass.Reportf(call.Pos(), "result of %s ignored but it returns an error; "+
+						"handle it, return it, or assign with //lint:allow erraudit (reason)",
+						name)
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n, modulePrefix)
+			case *ast.GoStmt:
+				if name, ok := dropsError(pass.TypesInfo, n.Call, modulePrefix); ok {
+					pass.Reportf(n.Call.Pos(), "goroutine discards the error returned by %s; "+
+						"collect it through a channel or error slot", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := dropsError(pass.TypesInfo, n.Call, modulePrefix); ok {
+					pass.Reportf(n.Call.Pos(), "deferred call discards the error returned by %s; "+
+						"wrap it in a closure that records the error", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankAssign flags assignments that bind an error-typed result
+// from an intra-module call to the blank identifier.
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt, modulePrefix string) {
+	// Multi-value form: v, _ := f() — one call, results spread over Lhs.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := intraModuleCallee(pass.TypesInfo, call, modulePrefix)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(as.Lhs); i++ {
+			if !isBlank(as.Lhs[i]) || !isErrorType(tuple.At(i).Type()) {
+				continue
+			}
+			pass.Reportf(as.Lhs[i].Pos(), "error returned by %s assigned to _; handle it "+
+				"or suppress with //lint:allow erraudit (reason)", name)
+		}
+		return
+	}
+	// Parallel form: _ = f() with a single error result.
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name, ok := intraModuleCallee(pass.TypesInfo, call, modulePrefix)
+		if !ok {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(call); t != nil && isErrorType(t) {
+			pass.Reportf(as.Lhs[i].Pos(), "error returned by %s assigned to _; handle it "+
+				"or suppress with //lint:allow erraudit (reason)", name)
+		}
+	}
+}
+
+// dropsError reports whether call discards a result list containing an
+// error, returning the callee's display name.
+func dropsError(info *types.Info, call *ast.CallExpr, modulePrefix string) (string, bool) {
+	name, ok := intraModuleCallee(info, call, modulePrefix)
+	if !ok {
+		return "", false
+	}
+	switch t := info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return name, true
+			}
+		}
+	case nil:
+	default:
+		if isErrorType(t) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// intraModuleCallee resolves call's static callee and reports whether
+// it belongs to this module (same first path segment as the analyzed
+// package). Interface methods and function values resolve through
+// their declared object, which still carries the defining package.
+func intraModuleCallee(info *types.Info, call *ast.CallExpr, modulePrefix string) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	default:
+		return "", false
+	}
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	pkg := f.Pkg()
+	if pkg == nil || moduleOf(pkg.Path()) != modulePrefix {
+		return "", false
+	}
+	return f.Name(), true
+}
+
+// moduleOf returns the first segment of an import path — the module
+// identity used to separate intra-module calls from dependencies.
+func moduleOf(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

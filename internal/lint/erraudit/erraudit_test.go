@@ -1,0 +1,17 @@
+package erraudit_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/erraudit"
+)
+
+func TestErrAudit(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, erraudit.Analyzer, "fixtures/erraudit")
+}

@@ -1,8 +1,11 @@
-// Package lint holds the repo-wide clean-lint meta-test: every
+// Package lint holds the repo-wide clean-lint meta-tests: every
 // repolint analyzer runs over every package in the module, and any
 // diagnostic — a regression against the determinism, float-equality,
-// unit-safety, or panic-discipline gates — fails the build's test
-// tier, not just the lint tier.
+// unit-safety, panic-discipline, shared-state, concurrency-safety, or
+// error-audit gates — fails the build's test tier, not just the lint
+// tier. A second meta-test holds the suppression inventory to the
+// directive grammar: every "//lint:allow" must be well-formed, name
+// registered analyzers, and still silence at least one diagnostic.
 package lint
 
 import (
@@ -48,7 +51,7 @@ func TestRepoIsLintClean(t *testing.T) {
 }
 
 // moduleRoot walks up from the working directory to the go.mod.
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {

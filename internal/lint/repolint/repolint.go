@@ -6,18 +6,26 @@ package repolint
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/concsafety"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/erraudit"
 	"repro/internal/lint/floateq"
 	"repro/internal/lint/panicfree"
+	"repro/internal/lint/sharedstate"
 	"repro/internal/lint/unitsafety"
 )
 
-// Analyzers is the full repolint suite, in reporting order.
+// Analyzers is the full repolint suite, in reporting order: the four
+// intra-function gates from v1, then the v2 interprocedural gates built
+// on internal/lint/callgraph.
 var Analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	floateq.Analyzer,
 	unitsafety.Analyzer,
 	panicfree.Analyzer,
+	sharedstate.Analyzer,
+	concsafety.Analyzer,
+	erraudit.Analyzer,
 }
 
 // ByName returns the analyzer with the given name, or nil.

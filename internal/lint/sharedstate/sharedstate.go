@@ -1,0 +1,317 @@
+// Package sharedstate defines the analyzer that turns the repository's
+// seq-vs-parallel byte-equality tests from a sampled property into a
+// verified one. Since internal/exec fans simulation cells out across
+// worker goroutines, a run is only a pure function of (config, seed) if
+// nothing a worker executes writes shared memory: no package-level
+// scratch state, no stores through variables captured from the
+// submitting goroutine (other than the worker's own index slot).
+//
+// Roots are chosen per package and facts propagate over the
+// package-local call graph (internal/lint/callgraph):
+//
+//   - every function literal passed as the fn argument to exec.Map is a
+//     worker root: everything it reaches in the same package must not
+//     write package-level variables unguarded, and the literal itself
+//     must not write captured memory except through its own index
+//     parameter;
+//   - in the simulator hot-path packages (internal/sim and everything a
+//     running cell executes: machine, cluster, dvs, dvfs, workloads,
+//     mpi, netsim, power, meter, powerpack, trace, core, stats,
+//     campaign), every exported function and method is a root, because
+//     any of them may be called from inside a concurrently running
+//     cell. This is how the argument closes module-wide without
+//     whole-program analysis: each package is policed with its own
+//     roots in its own pass.
+//
+// Writes that go through sync/atomic appear as method or function calls
+// rather than stores, so they pass naturally; a store lexically
+// preceded by a sync.Mutex/RWMutex Lock in the same function counts as
+// guarded. Anything else needs //lint:allow sharedstate (reason).
+package sharedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Analyzer flags unsynchronized shared-state writes reachable from
+// exec.Map worker closures or simulator hot-path entry points.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedstate",
+	Doc: "forbid unsynchronized writes to package-level variables or captured " +
+		"memory in code reachable from exec.Map workers or the sim hot path; " +
+		"use sync/atomic, a mutex, or per-cell state",
+	Run: run,
+}
+
+// execPkg is the worker-pool package whose Map calls mark worker roots.
+const execPkg = "repro/internal/exec"
+
+// hotPathPkgs are the packages a concurrently running simulation cell
+// executes; every exported function in them is treated as reachable
+// from a worker. Prefix match, so subpackages inherit the restriction.
+var hotPathPkgs = []string{
+	"repro/internal/sim",
+	"repro/internal/machine",
+	"repro/internal/cluster",
+	"repro/internal/dvs",
+	"repro/internal/dvfs",
+	"repro/internal/workloads",
+	"repro/internal/mpi",
+	"repro/internal/netsim",
+	"repro/internal/power",
+	"repro/internal/meter",
+	"repro/internal/powerpack",
+	"repro/internal/trace",
+	"repro/internal/core",
+	"repro/internal/stats",
+	"repro/internal/campaign",
+}
+
+func run(pass *analysis.Pass) error {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !analysis.IsTestFile(pass.Fset, f.Pos()) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	g := callgraph.Build(pass.Fset, files, pass.TypesInfo)
+
+	// Collect roots: exec.Map worker closures first (they also get the
+	// captured-write check), then hot-path exported entry points.
+	workers := findWorkers(files, pass.TypesInfo, g)
+	roots := make([]*callgraph.Node, 0, len(workers))
+	rootWhy := make(map[*callgraph.Node]string)
+	for _, w := range workers {
+		roots = append(roots, w.node)
+		rootWhy[w.node] = "exec.Map worker " + w.node.Name
+	}
+	if isHotPath(pass.Pkg.Path()) {
+		for _, n := range g.Nodes {
+			if n.Fn != nil && n.Fn.Exported() {
+				roots = append(roots, n)
+				rootWhy[n] = "hot-path entry " + n.Name
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Interprocedural: unguarded package-level writes anywhere
+	// reachable from a root.
+	reached := g.Reachable(roots...)
+	for node, root := range reached {
+		for _, w := range node.GlobalWrites {
+			if w.Guarded {
+				continue
+			}
+			pass.Reportf(w.Pos, "unsynchronized write to package-level variable %s in %s "+
+				"(reachable from %s); use sync/atomic, a mutex, or per-cell state",
+				w.Var.Name(), node.Name, rootWhy[root])
+		}
+	}
+
+	// Worker-local: captured-memory writes inside the worker literal
+	// (including its nested closures), exempting the worker's own
+	// index slot and mutex-guarded stores.
+	for _, w := range workers {
+		checkCaptured(pass, g, w)
+	}
+	return nil
+}
+
+func isHotPath(path string) bool {
+	for _, p := range hotPathPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one closure passed as fn to exec.Map.
+type worker struct {
+	lit  *ast.FuncLit
+	node *callgraph.Node
+}
+
+// findWorkers locates every call to exec.Map and resolves its fn
+// argument: a function literal becomes a worker; a named same-package
+// function becomes a plain root (no captured state to check).
+func findWorkers(files []*ast.File, info *types.Info, g *callgraph.Graph) []worker {
+	var out []worker
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isExecMap(info, call) || len(call.Args) != 3 {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[2]).(type) {
+			case *ast.FuncLit:
+				if node := g.LitNode(arg); node != nil {
+					out = append(out, worker{lit: arg, node: node})
+				}
+			case *ast.Ident:
+				if fn, ok := info.Uses[arg].(*types.Func); ok {
+					if node := g.NodeOf(fn); node != nil {
+						out = append(out, worker{node: node})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isExecMap reports whether call invokes repro/internal/exec.Map,
+// including explicitly instantiated forms like exec.Map[int].
+func isExecMap(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Map" {
+		return false
+	}
+	path, ok := analysis.UsedPackage(info, sel)
+	return ok && path == execPkg
+}
+
+// checkCaptured flags stores inside the worker literal (or its nested
+// closures) whose target is declared outside the literal, unless the
+// store goes to the worker's own index slot, is mutex-guarded, or hits
+// a package-level variable (already reported by the reachability pass).
+func checkCaptured(pass *analysis.Pass, g *callgraph.Graph, w worker) {
+	if w.lit == nil {
+		return
+	}
+	params := paramObjs(pass.TypesInfo, w.lit)
+	check := func(lhs ast.Expr, pos ast.Node) {
+		v := callgraph.BaseVar(lhs, pass.TypesInfo)
+		if v == nil || v.Pkg() == nil {
+			return
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return // package-level: the reachability pass owns it
+		}
+		if v.Pos() >= w.lit.Pos() && v.Pos() < w.lit.End() {
+			return // declared inside the worker: worker-private
+		}
+		if indexedByParam(pass.TypesInfo, lhs, params) {
+			return // the worker's own slot: out[i] = v
+		}
+		if lockPrecedes(pass.TypesInfo, w.lit, pos.Pos()) {
+			return
+		}
+		pass.Reportf(pos.Pos(), "exec.Map worker writes captured variable %s; workers may "+
+			"only write their own index's slot — return the value, use the result "+
+			"slice, or synchronize", v.Name())
+	}
+	ast.Inspect(w.lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				check(lhs, n)
+			}
+		case *ast.IncDecStmt:
+			check(n.X, n)
+		}
+		return true
+	})
+}
+
+// paramObjs returns the objects of the literal's parameters (for a Map
+// worker, the index parameter).
+func paramObjs(info *types.Info, lit *ast.FuncLit) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// indexedByParam reports whether the lvalue chain contains an index
+// expression whose index mentions one of the worker's parameters —
+// the sanctioned out[i] = v pattern (including out[i].Field = v and
+// out[f(i)] = v).
+func indexedByParam(info *types.Info, lhs ast.Expr, params map[*types.Var]bool) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			if mentionsAny(info, x.Index, params) {
+				return true
+			}
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func mentionsAny(info *types.Info, e ast.Expr, params map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && params[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lockPrecedes reports whether a sync mutex Lock/RLock call inside the
+// worker literal lexically precedes pos.
+func lockPrecedes(info *types.Info, lit *ast.FuncLit, pos token.Pos) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if fn.Name() == "Lock" || fn.Name() == "RLock" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,20 @@
+package sharedstate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/sharedstate"
+)
+
+func TestSharedState(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, sharedstate.Analyzer,
+		"fixtures/sharedstate",
+		"repro/internal/sim/statefixture",
+	)
+}

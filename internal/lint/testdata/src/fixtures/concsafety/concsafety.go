@@ -1,0 +1,131 @@
+// Package concsafety exercises the goroutine/channel/WaitGroup
+// discipline analyzer.
+package concsafety
+
+import "sync"
+
+// BadAddInside increments the WaitGroup counter inside the spawned
+// goroutine: Wait can observe zero and return before the goroutine is
+// counted.
+func BadAddInside(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// GoodAddOutside counts before spawning.
+func GoodAddOutside(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// BadNoJoin spawns a goroutine that synchronizes with nothing and calls
+// nothing that could: the caller has no way to wait for it.
+func BadNoJoin(xs []int) {
+	go func() { // want `goroutine has no join path`
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+	}()
+}
+
+// GoodJoinViaChannel publishes its result on a channel.
+func GoodJoinViaChannel(xs []int) int {
+	ch := make(chan int)
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		ch <- s
+	}()
+	return <-ch
+}
+
+// GoodJoinViaHelper reaches synchronization through a call the graph
+// can see.
+func GoodJoinViaHelper(done chan struct{}) {
+	go func() {
+		signal(done)
+	}()
+	<-done
+}
+
+func signal(done chan struct{}) { close(done) }
+
+// BadDeadSend sends on an unbuffered channel that never leaves the
+// function and has no receiver: it blocks forever.
+func BadDeadSend() {
+	ch := make(chan int)
+	ch <- 1 // want `send on unbuffered channel ch with no possible receiver`
+	_ = 0
+}
+
+// GoodBufferedSend has capacity; the analyzer only reasons about
+// unbuffered make calls.
+func GoodBufferedSend() {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+// GoodEscapingSend hands the channel to another function, which may
+// receive.
+func GoodEscapingSend(sink func(chan int)) {
+	ch := make(chan int)
+	sink(ch)
+	ch <- 1
+}
+
+// lockBox embeds a mutex, so copying it by value forks the lock state.
+type lockBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadValueReceiver copies the lock on every call.
+func (b lockBox) BadValueReceiver() int { // want `receiver copies lock`
+	return b.n
+}
+
+// BadValueParam copies the lock at every call site.
+func BadValueParam(b lockBox) int { // want `parameter copies lock`
+	return b.n
+}
+
+// GoodPointerParam shares the lock.
+func GoodPointerParam(b *lockBox) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// BadCopyAssign duplicates an existing lock-bearing value.
+func BadCopyAssign(b *lockBox) int {
+	c := *b // want `assignment copies lock`
+	return c.n
+}
+
+// BadRangeCopy copies a lock per iteration.
+func BadRangeCopy(bs []lockBox) int {
+	s := 0
+	for _, b := range bs { // want `range value copies lock`
+		s += b.n
+	}
+	return s
+}
+
+// SuppressedCopy documents a deliberate copy of a never-used zero lock.
+func SuppressedCopy(b *lockBox) int {
+	c := *b //lint:allow concsafety (snapshot of a quiesced box; lock is never used again)
+	return c.n
+}

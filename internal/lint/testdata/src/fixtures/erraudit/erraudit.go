@@ -1,0 +1,69 @@
+// Package erraudit exercises the discarded-error analyzer: error
+// returns from intra-module calls must be consumed; stdlib calls are
+// out of scope.
+package erraudit
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// step is an intra-module call with an error result.
+func step() error { return errors.New("boom") }
+
+// measure returns a value and an error.
+func measure() (float64, error) { return 0, errors.New("boom") }
+
+// BadIgnored drops the whole result list.
+func BadIgnored() {
+	step() // want `result of step ignored but it returns an error`
+}
+
+// BadBlank discards the error explicitly but without a reason.
+func BadBlank() {
+	_ = step() // want `error returned by step assigned to _`
+}
+
+// BadBlankTuple discards the error half of a tuple.
+func BadBlankTuple() float64 {
+	v, _ := measure() // want `error returned by measure assigned to _`
+	return v
+}
+
+// BadGoDiscard spawns the call, losing the error with no collection
+// path.
+func BadGoDiscard() {
+	go step() // want `goroutine discards the error returned by step`
+}
+
+// BadDeferDiscard defers the call bare, so the error evaporates at
+// function exit.
+func BadDeferDiscard() {
+	defer step() // want `deferred call discards the error returned by step`
+}
+
+// GoodHandled consumes the error.
+func GoodHandled() error {
+	if err := step(); err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	v, err := measure()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// GoodStdlib ignores a stdlib error: not this module's contract to
+// police (and fmt.Println noise would bury the signal).
+func GoodStdlib() {
+	fmt.Println("hello")
+	os.Remove("nonexistent")
+}
+
+// Suppressed documents why dropping the error is sound.
+func Suppressed() {
+	_ = step() //lint:allow erraudit (best-effort cleanup; failure leaves only a stale temp file)
+}

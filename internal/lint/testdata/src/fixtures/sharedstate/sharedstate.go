@@ -1,0 +1,94 @@
+// Package sharedstate exercises the interprocedural shared-state
+// analyzer: exec.Map worker closures and everything they reach must not
+// write package-level variables or captured memory without
+// synchronization.
+package sharedstate
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+)
+
+var (
+	counter   int
+	total     atomic.Int64
+	mu        sync.Mutex
+	guarded   int
+	helperHit int
+)
+
+// BadGlobal's worker bumps a package-level counter with a plain store —
+// the race the analyzer exists to forbid.
+func BadGlobal(n int) ([]int, error) {
+	return exec.Map(0, n, func(i int) (int, error) {
+		counter++ // want `unsynchronized write to package-level variable counter`
+		return i, nil
+	})
+}
+
+// GoodAtomic performs the same accumulation through sync/atomic: the
+// write is a method call, not a store, and passes.
+func GoodAtomic(n int) ([]int, error) {
+	return exec.Map(0, n, func(i int) (int, error) {
+		total.Add(1)
+		return i, nil
+	})
+}
+
+// GoodMutex holds the package mutex across the store.
+func GoodMutex(n int) ([]int, error) {
+	return exec.Map(0, n, func(i int) (int, error) {
+		mu.Lock()
+		guarded++
+		mu.Unlock()
+		return i, nil
+	})
+}
+
+// bumpHelper is only dangerous because a worker reaches it — the
+// interprocedural propagation is what finds this.
+func bumpHelper() {
+	helperHit++ // want `unsynchronized write to package-level variable helperHit`
+}
+
+// BadViaHelper's worker looks clean in isolation; the write hides one
+// call away.
+func BadViaHelper(n int) ([]int, error) {
+	return exec.Map(0, n, func(i int) (int, error) {
+		bumpHelper()
+		return i, nil
+	})
+}
+
+// BadCaptured writes a local captured from the submitting goroutine —
+// a cross-worker race even though no package-level state is involved.
+func BadCaptured(n int) (int, error) {
+	sum := 0
+	_, err := exec.Map(0, n, func(i int) (int, error) {
+		sum += i // want `worker writes captured variable sum`
+		return i, nil
+	})
+	return sum, err
+}
+
+// GoodIndexSlot writes only its own index's slot of a captured slice —
+// the sanctioned way for workers to publish results.
+func GoodIndexSlot(n int) ([]int, error) {
+	extra := make([]int, n)
+	_, err := exec.Map(0, n, func(i int) (int, error) {
+		extra[i] = i * i
+		return i, nil
+	})
+	return extra, err
+}
+
+// Suppressed documents a deliberate exception: a monotonic gauge whose
+// readers tolerate staleness.
+func Suppressed(n int) ([]int, error) {
+	return exec.Map(0, n, func(i int) (int, error) {
+		counter = i //lint:allow sharedstate (approximate progress gauge; readers tolerate races)
+		return i, nil
+	})
+}

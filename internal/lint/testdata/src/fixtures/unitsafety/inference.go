@@ -1,0 +1,68 @@
+// V2 cases: expression-level dimensional inference — dimensions flow
+// through unsuffixed locals, the voltage axis (V ∝ J^½) makes the CMOS
+// power identities exact, and the named-type Duration scaling idiom
+// stays legal.
+package unitsafety
+
+// IntermediateEnergy catches a mismatch that flows through an
+// unsuffixed local: e is inferred to be an energy from its definition.
+func IntermediateEnergy(powerW, delayS float64) float64 {
+	e := powerW * delayS
+	totalW := 1.0
+	totalW += e // want `unit mismatch: power \(W\) \+= energy \(J\)`
+	return totalW
+}
+
+// InferredQuotient infers power from an energy/time quotient.
+func InferredQuotient(energyJ, delayS, freqHz float64) bool {
+	avg := energyJ / delayS
+	return avg > freqHz // want `unit mismatch: power \(W\) > frequency \(Hz\)`
+}
+
+// CMOSPower uses the half-joule voltage axis: V·V ∝ J (capacitive
+// energy) and V²·f ∝ W (dynamic power), so mixing the product with the
+// wrong side is caught.
+func CMOSPower(voltage, freqHz, powerW, energyJ float64) (float64, float64) {
+	dyn := voltage * voltage * freqHz
+	total := powerW + dyn                // V²·f ∝ W: legal
+	stored := energyJ + voltage*voltage  // V·V ∝ J: legal
+	_ = energyJ + voltage*voltage*freqHz // want `unit mismatch: energy \(J\) \+ power \(W\)`
+	return total, stored
+}
+
+// AssignDeclared flags a plain assignment into a variable whose name
+// declares its dimension.
+func AssignDeclared(powerW float64) float64 {
+	var totalJ float64
+	totalJ = powerW // want `unit mismatch: assigning power \(W\) to energy \(J\) variable`
+	return totalJ
+}
+
+// CyclesAreCounts: Hz·s is a dimensionless cycle count; dividing it
+// back out of an energy keeps the energy dimension.
+func CyclesAreCounts(energyJ, freqHz, delayS float64) float64 {
+	cycles := freqHz * delayS
+	perCycle := energyJ / cycles
+	return perCycle + energyJ // J + J: legal
+}
+
+// Duration mirrors the repository's named time type; typeDims matches
+// by type name.
+type Duration int64
+
+// Millisecond is a unit constant in the time-package style.
+const Millisecond Duration = 1000 * 1000
+
+// ScaledDuration: count × unit is typed Duration by the Go type
+// system, not s², exactly like 5*time.Millisecond.
+func ScaledDuration(ms int) Duration {
+	d := Duration(ms) * Millisecond
+	return d + Millisecond
+}
+
+// SuppressedInferred documents a deliberate mixed sum reached through
+// an inferred local.
+func SuppressedInferred(powerW, delayS float64) float64 {
+	e := powerW * delayS
+	return powerW + e //lint:allow unitsafety (EDP-style mixed objective, weighted upstream)
+}

@@ -4,18 +4,37 @@
 // from joules. The repository names raw float64 quantities with unit
 // suffixes (energyJ, powerW, delayS, freqHz) and wraps some in named
 // types (power.Joules, power.Watts, sim.Duration, dvfs.Hz); this
-// analyzer reads both conventions and checks additive operators and
-// comparisons, while understanding that multiplication and division
-// convert between dimensions (watts × seconds = joules, joules ÷
-// seconds = watts).
+// analyzer reads both conventions and performs expression-level
+// dimensional inference over them.
 //
-// The Go type system already rejects mixing the named types, but the
-// moment a computation converts to float64 — as every model formula
-// here does — that protection vanishes. Identifier naming is the only
-// remaining signal, and this analyzer makes it load-bearing.
+// Dimensions are exponent vectors over (energy, time) — a quantity is
+// proportional to J^(j/2)·s^t, with the joule exponent doubled so that
+// voltage, which enters the CMOS power model as V² ∝ J, is
+// representable as J^½. The algebra then gives exactly the identities
+// the power model relies on:
+//
+//	W · s  = J        (power × time = energy)
+//	V · V  ∝ J        (capacitive energy  E = C·V²)
+//	V² · f ∝ W        (dynamic power      P = C·V²·f)
+//	Hz · s = 1        (cycles are dimensionless counts)
+//	X / X  = 1        (ratios are dimensionless)
+//
+// Multiplication adds exponent vectors, division subtracts them, and
+// additive operators and comparisons require both sides to agree.
+// Dimensionless values (ratios, counts, literals) are additively
+// compatible with anything — scaling and offset idioms stay legal.
+//
+// Inference also flows through local variables: when a function binds
+// "e := p * dt" the analyzer knows e is an energy, so a later
+// "total += e" against a power-dimensioned total is caught even though
+// "e" itself carries no unit suffix. The Go type system already rejects
+// mixing the named types, but the moment a computation converts to
+// float64 — as every model formula here does — that protection
+// vanishes; this analyzer keeps the units sound past that boundary.
 package unitsafety
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -25,38 +44,90 @@ import (
 )
 
 // Analyzer flags additive arithmetic and comparisons between operands
-// whose names or types carry different physical units.
+// whose inferred physical dimensions differ.
 var Analyzer = &analysis.Analyzer{
 	Name: "unitsafety",
-	Doc: "forbid +, -, and comparisons between quantities with different " +
-		"unit conventions (energyJ vs powerW vs delayS vs freqHz); insert " +
-		"the ×time or ÷time factor, or suppress with //lint:allow unitsafety",
+	Doc: "forbid +, -, comparisons, and assignments between quantities whose " +
+		"inferred dimensions differ (J = W·s, W ∝ V²·f, Hz·s dimensionless); " +
+		"insert the conversion factor, or suppress with //lint:allow unitsafety",
 	Run: run,
 }
 
-// dim is a physical dimension tracked by the analyzer.
-type dim int
+// dim is a physical dimension: a quantity proportional to
+// J^(j2/2) · s^(t). The joule exponent is stored doubled so voltage
+// (∝ J^½ at fixed capacitance) has an integer representation.
+type dim struct {
+	known  bool
+	j2, t  int
+	poison bool // conflicting evidence: never report through this value
+}
 
-const (
-	unknown   dim = iota
-	energy        // joules
-	power         // watts
-	duration      // seconds
-	frequency     // hertz
+var (
+	unknown       = dim{}
+	dimensionless = dim{known: true}
+	voltage       = dim{known: true, j2: 1}
+	energy        = dim{known: true, j2: 2}
+	power         = dim{known: true, j2: 2, t: -1}
+	duration      = dim{known: true, t: 1}
+	frequency     = dim{known: true, t: -1}
 )
 
 func (d dim) String() string {
-	switch d {
-	case energy:
+	switch {
+	case !d.known:
+		return "unknown"
+	case d == energy:
 		return "energy (J)"
-	case power:
+	case d == power:
 		return "power (W)"
-	case duration:
+	case d == duration:
 		return "time (s)"
-	case frequency:
+	case d == frequency:
 		return "frequency (Hz)"
+	case d == voltage:
+		return "voltage (V)"
+	case d == dimensionless:
+		return "dimensionless"
 	}
-	return "unknown"
+	return fmt.Sprintf("J^(%d/2)·s^%d", d.j2, d.t)
+}
+
+// mul and div combine dimensions by exponent arithmetic.
+func mul(a, b dim) dim {
+	if !a.known || !b.known || a.poison || b.poison {
+		return unknown
+	}
+	return dim{known: true, j2: a.j2 + b.j2, t: a.t + b.t}
+}
+
+func div(a, b dim) dim {
+	if !a.known || !b.known || a.poison || b.poison {
+		return unknown
+	}
+	return dim{known: true, j2: a.j2 - b.j2, t: a.t - b.t}
+}
+
+// mismatch reports whether two dimensions are additively incompatible:
+// both confidently known, neither dimensionless, and different.
+func mismatch(a, b dim) bool {
+	return a.known && b.known && !a.poison && !b.poison &&
+		a != dimensionless && b != dimensionless && a != b
+}
+
+// addDim is the result dimension of a valid addition.
+func addDim(a, b dim) dim {
+	if !a.known || !b.known || a.poison || b.poison {
+		return unknown
+	}
+	switch {
+	case a == b:
+		return a
+	case a == dimensionless:
+		return b
+	case b == dimensionless:
+		return a
+	}
+	return unknown
 }
 
 // suffixDims maps identifier suffixes to dimensions, longest first.
@@ -77,6 +148,8 @@ var suffixDims = []struct {
 	{"Sec", duration},
 	{"Nanos", duration},
 	{"Millis", duration},
+	{"Volts", voltage},
+	{"Volt", voltage},
 	{"MHz", frequency},
 	{"GHz", frequency},
 	{"KHz", frequency},
@@ -86,6 +159,18 @@ var suffixDims = []struct {
 	{"J", energy},
 	{"W", power},
 	{"S", duration},
+	{"V", voltage},
+}
+
+// wholeNames maps complete identifier names to dimensions, for names
+// that are a unit word rather than a prefixed quantity (the suffix rule
+// requires a lowercase character before the suffix, so "Voltage" and
+// "vdd" need their own entries).
+var wholeNames = map[string]dim{
+	"voltage": voltage,
+	"Voltage": voltage,
+	"vdd":     voltage,
+	"Vdd":     voltage,
 }
 
 // typeDims maps named-type names (from this repository's unit types)
@@ -96,6 +181,7 @@ var typeDims = map[string]dim{
 	"Duration": duration,
 	"Time":     duration,
 	"Hz":       frequency,
+	"Volts":    voltage,
 }
 
 func run(pass *analysis.Pass) error {
@@ -103,38 +189,136 @@ func run(pass *analysis.Pass) error {
 		if analysis.IsTestFile(pass.Fset, f.Pos()) {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.BinaryExpr:
-				if !additiveOrOrdered(n.Op) {
-					return true
-				}
-				dx := dimOf(pass.TypesInfo, n.X)
-				dy := dimOf(pass.TypesInfo, n.Y)
-				if dx != unknown && dy != unknown && dx != dy {
-					pass.Reportf(n.OpPos, "unit mismatch: %s %s %s "+
-						"(insert the ×time/÷time conversion, or //lint:allow unitsafety)",
-						dx, n.Op, dy)
-				}
-			case *ast.AssignStmt:
-				if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
-					return true
-				}
-				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
-					return true
-				}
-				dx := dimOf(pass.TypesInfo, n.Lhs[0])
-				dy := dimOf(pass.TypesInfo, n.Rhs[0])
-				if dx != unknown && dy != unknown && dx != dy {
-					pass.Reportf(n.TokPos, "unit mismatch: %s %s %s "+
-						"(insert the ×time/÷time conversion, or //lint:allow unitsafety)",
-						dx, n.Tok, dy)
-				}
-			}
-			return true
+		analysis.WalkFuncs([]*ast.File{f}, func(name string, body ast.Node) {
+			checkBody(pass, body)
 		})
 	}
 	return nil
+}
+
+// checkBody infers a local dimension environment for one function body
+// and then checks every additive operation, comparison, and assignment
+// in it.
+func checkBody(pass *analysis.Pass, body ast.Node) {
+	env := inferEnv(pass.TypesInfo, body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !additiveOrOrdered(n.Op) {
+				return true
+			}
+			dx := dimOf(pass.TypesInfo, env, n.X)
+			dy := dimOf(pass.TypesInfo, env, n.Y)
+			if mismatch(dx, dy) {
+				pass.Reportf(n.OpPos, "unit mismatch: %s %s %s "+
+					"(insert the conversion factor, or //lint:allow unitsafety)",
+					dx, n.Op, dy)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, env, n)
+		}
+		return true
+	})
+}
+
+// checkAssign checks += / -= with the full environment and plain = only
+// when the target's dimension is declared by name or type — a variable
+// whose dimension is merely inferred may legitimately be reused.
+func checkAssign(pass *analysis.Pass, env map[*types.Var]dim, n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+			return
+		}
+		dx := dimOf(pass.TypesInfo, env, n.Lhs[0])
+		dy := dimOf(pass.TypesInfo, env, n.Rhs[0])
+		if mismatch(dx, dy) {
+			pass.Reportf(n.TokPos, "unit mismatch: %s %s %s "+
+				"(insert the conversion factor, or //lint:allow unitsafety)",
+				dx, n.Tok, dy)
+		}
+	case token.ASSIGN:
+		for i, lhs := range n.Lhs {
+			if i >= len(n.Rhs) {
+				break
+			}
+			dx := declaredDim(pass.TypesInfo, lhs)
+			dy := dimOf(pass.TypesInfo, env, n.Rhs[i])
+			if mismatch(dx, dy) {
+				pass.Reportf(n.TokPos, "unit mismatch: assigning %s to %s variable "+
+					"(insert the conversion factor, or //lint:allow unitsafety)",
+					dy, dx)
+			}
+		}
+	}
+}
+
+// inferEnv propagates dimensions into local variables bound by := whose
+// names and types carry no unit of their own. Iterated to a small
+// fixpoint so chains (a := w*dt; b := a) resolve; a variable bound to
+// conflicting dimensions, or plainly reassigned to a different one, is
+// poisoned and never participates in reports.
+func inferEnv(info *types.Info, body ast.Node) map[*types.Var]dim {
+	type binding struct {
+		v   *types.Var
+		rhs ast.Expr
+	}
+	var bindings []binding
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			var v *types.Var
+			if as.Tok == token.DEFINE {
+				v, _ = info.Defs[id].(*types.Var)
+			} else if as.Tok == token.ASSIGN {
+				v, _ = info.Uses[id].(*types.Var)
+			}
+			if v == nil {
+				continue
+			}
+			if declaredDim(info, lhs).known {
+				continue // name/type already decides; env not needed
+			}
+			bindings = append(bindings, binding{v, as.Rhs[i]})
+		}
+		return true
+	})
+	if len(bindings) == 0 {
+		return nil
+	}
+
+	env := make(map[*types.Var]dim)
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		for _, b := range bindings {
+			d := dimOf(info, env, b.rhs)
+			if !d.known {
+				continue
+			}
+			old, seen := env[b.v]
+			switch {
+			case !seen:
+				env[b.v] = d
+				changed = true
+			case old.poison:
+			case old != d:
+				env[b.v] = dim{poison: true}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return env
 }
 
 func additiveOrOrdered(op token.Token) bool {
@@ -146,76 +330,88 @@ func additiveOrOrdered(op token.Token) bool {
 	return false
 }
 
-// dimOf infers the dimension of an expression: named unit types and
-// suffix-annotated identifiers are the leaves, and * and / combine
-// dimensions algebraically. Conversions like float64(x) are
-// transparent; anything else is unknown (and unknown never trips the
-// analyzer — the check fires only when both sides are confidently
-// dimensioned).
-func dimOf(info *types.Info, e ast.Expr) dim {
+// dimOf infers the dimension of an expression: named unit types,
+// suffix-annotated identifiers, and environment-tracked locals are the
+// leaves; * and / combine dimensions by exponent arithmetic;
+// conversions assert their target type's dimension; numeric literals
+// are dimensionless. Anything else is unknown, and unknown never trips
+// the analyzer — checks fire only when both sides are confidently
+// dimensioned.
+func dimOf(info *types.Info, env map[*types.Var]dim, e ast.Expr) dim {
 	e = ast.Unparen(e)
 	switch e := e.(type) {
 	case *ast.Ident:
-		if d := typeDim(info, e); d != unknown {
+		if d := declaredDim(info, e); d.known {
+			return d
+		}
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return env[v]
+		}
+		return unknown
+	case *ast.SelectorExpr:
+		return declaredDim(info, e)
+	case *ast.IndexExpr:
+		return typeDim(info, e)
+	case *ast.CallExpr:
+		// An explicit conversion asserts the target type's dimension:
+		// sim.Duration(n) is a duration whatever n was. A conversion to
+		// a dimensionless type (float64(x)) is transparent. Function
+		// and method calls carry their result type's dimension.
+		if len(e.Args) == 1 && isConversion(info, e) {
+			if d := typeDim(info, e); d.known {
+				return d
+			}
+			return dimOf(info, env, e.Args[0])
+		}
+		return typeDim(info, e)
+	case *ast.BasicLit:
+		if e.Kind == token.INT || e.Kind == token.FLOAT {
+			return dimensionless
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return dimOf(info, env, e.X)
+		}
+	case *ast.BinaryExpr:
+		// When the whole expression has a named unit type, the type
+		// system has already blessed the arithmetic — trust it. This is
+		// what makes the Duration scaling idiom legal:
+		// sim.Duration(ms) * sim.Millisecond is typed sim.Duration, not
+		// s², exactly like the time package's 5*time.Millisecond.
+		if d := typeDim(info, e); d.known {
+			return d
+		}
+		dx := dimOf(info, env, e.X)
+		dy := dimOf(info, env, e.Y)
+		switch e.Op {
+		case token.MUL:
+			return mul(dx, dy)
+		case token.QUO:
+			return div(dx, dy)
+		case token.ADD, token.SUB:
+			return addDim(dx, dy)
+		}
+	}
+	return unknown
+}
+
+// declaredDim reads the dimension an expression declares through its
+// named type or its identifier spelling — the signals a human reader
+// sees — without consulting the inferred environment.
+func declaredDim(info *types.Info, e ast.Expr) dim {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if d := typeDim(info, e); d.known {
 			return d
 		}
 		return nameDim(e.Name)
 	case *ast.SelectorExpr:
-		if d := typeDim(info, e); d != unknown {
+		if d := typeDim(info, e); d.known {
 			return d
 		}
 		return nameDim(e.Sel.Name)
-	case *ast.CallExpr:
-		// A conversion carries its operand's dimension through:
-		// float64(energyJ) is still an energy. Method and function
-		// calls fall back to the callee type's dimension (e.g.
-		// node.Power() returning power.Watts).
-		if len(e.Args) == 1 && isConversion(info, e) {
-			if d := dimOf(info, e.Args[0]); d != unknown {
-				return d
-			}
-		}
+	case *ast.IndexExpr:
 		return typeDim(info, e)
-	case *ast.UnaryExpr:
-		if e.Op == token.SUB || e.Op == token.ADD {
-			return dimOf(info, e.X)
-		}
-	case *ast.BinaryExpr:
-		dx, dy := dimOf(info, e.X), dimOf(info, e.Y)
-		switch e.Op {
-		case token.MUL:
-			return mulDim(dx, dy)
-		case token.QUO:
-			return divDim(dx, dy)
-		case token.ADD, token.SUB:
-			if dx == dy {
-				return dx
-			}
-		}
-	}
-	return unknown
-}
-
-// mulDim applies the unit algebra for products.
-func mulDim(a, b dim) dim {
-	switch {
-	case a == power && b == duration, a == duration && b == power:
-		return energy
-	case a == frequency && b == duration, a == duration && b == frequency:
-		return unknown // cycles: dimensionless count
-	}
-	return unknown
-}
-
-// divDim applies the unit algebra for quotients.
-func divDim(a, b dim) dim {
-	switch {
-	case a == energy && b == duration:
-		return power
-	case a == energy && b == power:
-		return duration
-	case a == b && a != unknown:
-		return unknown // ratio: dimensionless
 	}
 	return unknown
 }
@@ -232,8 +428,12 @@ func typeDim(info *types.Info, e ast.Expr) dim {
 	return unknown
 }
 
-// nameDim reads the dimension from an identifier's unit suffix.
+// nameDim reads the dimension from an identifier's unit suffix or
+// whole-word unit name.
 func nameDim(name string) dim {
+	if d, ok := wholeNames[name]; ok {
+		return d
+	}
 	for _, s := range suffixDims {
 		if !strings.HasSuffix(name, s.suffix) {
 			continue
