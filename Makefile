@@ -27,14 +27,15 @@ race:
 # allocs/op on the Schedule/Sleep hot path), the 8-cell campaign matrix
 # at parallelism 1 vs 8 (their ratio is the fan-out speedup on this
 # machine), one end-to-end paper figure, and the repolint
-# self-benchmark (full module load + all seven analyzers) so lint
-# wall-time regressions are tracked alongside sim throughput.
+# self-benchmarks (full module load + all nine analyzers, plus the
+# flow-sensitive detflow/hotalloc pass alone) so lint wall-time
+# regressions are tracked alongside sim throughput.
 bench:
 	: > $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench . -benchmem ./internal/sim >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Campaign8' -benchmem ./internal/campaign >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Fig3FTClassB' -benchmem . >> $(BENCHOUT)
-	$(GO) test -json -run '^$$' -bench 'RepolintModule' -benchtime 1x -benchmem ./internal/lint >> $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench 'RepolintModule|DetflowModule' -benchtime 1x -benchmem ./internal/lint >> $(BENCHOUT)
 	@grep 'ns/op' $(BENCHOUT) | sed 's/.*"Output":"//;s/\\n.*//;s/\\t/  /g' || true
 
 $(REPOLINT): $(shell find internal/lint cmd/repolint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
@@ -58,7 +59,7 @@ vuln:
 		echo "govulncheck not installed; skipping"; \
 	fi
 
-ci: build lint race vuln
+ci: build test lint race vuln
 
 clean:
 	rm -rf $(BIN)

@@ -1,6 +1,6 @@
 // Command repolint runs the repository's analyzer suite (determinism,
-// floateq, unitsafety, panicfree, sharedstate, concsafety, erraudit —
-// see internal/lint) in two modes:
+// floateq, unitsafety, panicfree, sharedstate, concsafety, erraudit,
+// detflow, hotalloc — see internal/lint) in two modes:
 //
 // Standalone, against package patterns, loading and type-checking the
 // module itself:

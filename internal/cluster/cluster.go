@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dvfs"
@@ -372,19 +373,18 @@ func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, 
 			regions[rp.Region] = true
 		}
 	}
+	// Merge in sorted region order: collecting the keys and sorting
+	// them before emission keeps Profiles a pure function of
+	// (config, seed) despite Go's randomized map iteration.
+	names := make([]string, 0, len(regions))
 	for region := range regions {
+		names = append(names, region)
+	}
+	sort.Strings(names)
+	for _, region := range names {
 		res.Profiles = append(res.Profiles, powerpack.MergeProfiles(ppctxs, region))
 	}
-	sortProfiles(res.Profiles)
 	return res, nil
-}
-
-func sortProfiles(ps []powerpack.RegionProfile) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && ps[j].Region < ps[j-1].Region; j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
-		}
-	}
 }
 
 // Aggregate is the repeated-run summary of one experiment point.

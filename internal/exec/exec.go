@@ -74,8 +74,9 @@ func Map[T any](width, n int, fn func(i int) (T, error)) ([]T, error) {
 	)
 	// call runs one index, converting a panic into a recorded failure
 	// so the worker loop (and Wait) always completes.
+	//lint:hotpath runs once per cell on every worker
 	call := func(i int) (ok bool) {
-		defer func() {
+		defer func() { //lint:allow hotalloc (one recover closure per cell, and a cell is a whole simulation run)
 			if r := recover(); r != nil {
 				pans[i] = r
 				failed.Store(true)
@@ -93,6 +94,7 @@ func Map[T any](width, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	wg.Add(width)
 	for w := 0; w < width; w++ {
+		//lint:hotpath the worker claim loop spins once per cell
 		go func() {
 			defer wg.Done()
 			for {

@@ -10,7 +10,7 @@ import (
 )
 
 // BenchmarkRepolintModule measures one full lint pass — module load,
-// parse, type-check, and all seven analyzers over every package — which
+// parse, type-check, and all nine analyzers over every package — which
 // is what `make lint` and the clean-lint meta-test pay on every run.
 // `make bench` appends this to BENCH_sim.json so lint wall-time
 // regressions are tracked alongside simulator throughput.
@@ -37,6 +37,48 @@ func BenchmarkRepolintModule(b *testing.B) {
 		}
 		if diags != 0 {
 			b.Fatalf("module not lint-clean during benchmark: %d diagnostics", diags)
+		}
+	}
+}
+
+// BenchmarkDetflowModule isolates the flow-sensitive layer: module
+// load plus only the detflow and hotalloc analyzers — the two passes
+// built on the internal/lint/dataflow value-flow engine and its
+// per-function summaries — over every package. Tracking this next to
+// BenchmarkRepolintModule in BENCH_sim.json shows how much of the
+// whole-suite cost the dataflow engine accounts for as it grows.
+func BenchmarkDetflowModule(b *testing.B) {
+	root := moduleRoot(b)
+	var flow []*analysis.Analyzer
+	for _, a := range repolint.Analyzers {
+		if a.Name == "detflow" || a.Name == "hotalloc" {
+			flow = append(flow, a)
+		}
+	}
+	if len(flow) != 2 {
+		b.Fatalf("expected detflow and hotalloc in the registry, found %d", len(flow))
+	}
+	for i := 0; i < b.N; i++ {
+		fset := token.NewFileSet()
+		pkgs, err := loader.Load(fset, root, "./...")
+		if err != nil {
+			b.Fatalf("loading module packages: %v", err)
+		}
+		if len(pkgs) == 0 {
+			b.Fatal("loader returned no packages")
+		}
+		diags := 0
+		for _, pkg := range pkgs {
+			for _, a := range flow {
+				pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+				if err := a.Run(pass); err != nil {
+					b.Fatalf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+				}
+				diags += len(pass.Diagnostics())
+			}
+		}
+		if diags != 0 {
+			b.Fatalf("module not flow-clean during benchmark: %d diagnostics", diags)
 		}
 	}
 }

@@ -48,6 +48,10 @@ type Node struct {
 	Name string
 	// Fn is the declared function's object; nil for literals.
 	Fn *types.Func
+	// Decl is the declaration syntax (signature, doc comment); nil for
+	// literals. Summary-building analyzers need it to interpret a
+	// node's results and annotations.
+	Decl *ast.FuncDecl
 	// Lit is the literal; nil for declared functions.
 	Lit *ast.FuncLit
 	// Body is the function's own body (nested literals excluded —
@@ -103,7 +107,7 @@ func Build(fset *token.FileSet, files []*ast.File, info *types.Info) *Graph {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			n := &Node{Name: declName(fd), Body: fd.Body}
+			n := &Node{Name: declName(fd), Body: fd.Body, Decl: fd}
 			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
 				n.Fn = obj
 				g.byFn[obj] = n

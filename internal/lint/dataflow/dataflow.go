@@ -1,0 +1,930 @@
+// Package dataflow is the function-level value-flow engine behind the
+// flow-sensitive repolint analyzers. It interprets one function body
+// abstractly, in source order, propagating a Taint along def-use
+// chains: every assignment carries the taint of its right-hand side to
+// the variable it defines, every expression joins the taints of its
+// operands, and calls transfer taint through a per-call Effect supplied
+// by the analyzer (which is where interprocedural summaries computed
+// over internal/lint/callgraph plug in).
+//
+// The analysis is flow-sensitive on variables: reassigning a variable
+// with a clean value kills its taint, and a sanitizer call (an Effect
+// with Kills) cleans the objects it names, so code that collects map
+// keys, sorts them, and only then emits them is provably clean even
+// though the same value was tainted a few statements earlier. Control
+// flow is handled structurally — branches analyze each arm on a copy of
+// the state and join afterwards, loops run their body to a bounded
+// fixpoint and join with the zero-iteration state — which keeps the
+// engine linear-ish in practice while still catching loop-carried
+// flows.
+//
+// Two nondeterminism sources are built into the engine because they are
+// properties of statements rather than of calls: ranging over a map
+// taints the iteration variables (Go randomizes map order on every
+// range), and a multi-way select taints whatever its comm clauses bind
+// (the winning case is scheduler-chosen). Both are opt-in via Analysis
+// flags so other analyzers can reuse the engine for different taints.
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// Taint is the abstract value tracked for every variable and
+// expression. The zero Taint is "clean".
+type Taint struct {
+	// Desc is the human-readable provenance of an internal
+	// nondeterminism source ("map iteration order (cluster.go:375)").
+	// Empty when the value does not depend on an internal source.
+	Desc string
+	// Param reports that the value depends on a parameter or receiver
+	// the caller seeded via Analysis.Seed — how summary computation
+	// discovers parameter-to-result flow.
+	Param bool
+}
+
+// Tainted reports whether t carries any taint.
+func (t Taint) Tainted() bool { return t.Desc != "" || t.Param }
+
+// Join merges two taints: an internal source wins the description slot
+// (first non-empty), parameter dependence is disjunctive.
+func Join(a, b Taint) Taint {
+	if a.Desc == "" {
+		a.Desc = b.Desc
+	}
+	a.Param = a.Param || b.Param
+	return a
+}
+
+// JoinAll folds Join over ts.
+func JoinAll(ts []Taint) Taint {
+	var out Taint
+	for _, t := range ts {
+		out = Join(out, t)
+	}
+	return out
+}
+
+// Effect is the transfer function of one call, as decided by the
+// analyzer's Call hook.
+type Effect struct {
+	// Result is joined into every result of the call.
+	Result Taint
+	// Results, when non-nil, gives per-result taints (length must match
+	// the call's result arity); tuple assignments and returns then keep
+	// per-result precision instead of collapsing to one joined taint.
+	Results []Taint
+	// Propagate joins the taints of the receiver and arguments into the
+	// results (the default assumption for calls whose body is unknown).
+	Propagate bool
+	// Kills names arguments whose base object is sanitized: its taint
+	// is removed from the state (sort.Strings over collected map keys).
+	Kills []ast.Expr
+	// NoMutation suppresses the conservative rule that a call with a
+	// tainted input may store that input into its receiver or into any
+	// pointer-typed argument. Sources and sanitizers set it.
+	NoMutation bool
+}
+
+// Analysis configures one engine run over a function body.
+type Analysis struct {
+	Info *types.Info
+	Fset *token.FileSet
+
+	// Call classifies one call, given the taints of its receiver (zero
+	// for non-method calls) and arguments. Returning ok=false selects
+	// the default: propagate input taints to the results and apply the
+	// mutation rule.
+	Call func(call *ast.CallExpr, recv Taint, args []Taint) (Effect, bool)
+
+	// TaintMapRange taints the key/value variables of a range over a
+	// map, which is the engine-level model of Go's randomized map
+	// iteration order.
+	TaintMapRange bool
+	// TaintSelect taints variables bound by the comm clauses of a
+	// select with more than one case — the scheduler picks the winner.
+	TaintSelect bool
+
+	// Seed pre-taints objects (parameters, the receiver) before the
+	// walk; summary computation uses it to detect param-to-result flow.
+	Seed map[*types.Var]Taint
+}
+
+// Return is the taint observed at one return statement of the analyzed
+// function (literals nested inside it keep their own returns).
+type Return struct {
+	Pos token.Pos
+	// Taints has one entry per result when the arity is derivable (a
+	// naked return over named results, or a tuple-call return with a
+	// per-result Effect); otherwise one entry per written expression.
+	Taints []Taint
+}
+
+// Result is the converged outcome of one engine run.
+type Result struct {
+	// Expr records the taint of every expression at its occurrence, in
+	// the final (converged) pass. Analyzers look up sink arguments here.
+	Expr map[ast.Expr]Taint
+	// Objects is the final taint state of every variable.
+	Objects map[types.Object]Taint
+	// Returns lists the taints flowing out of the function's own return
+	// statements.
+	Returns []Return
+}
+
+// maxLoopPasses bounds the fixpoint iteration of loop bodies. Two
+// passes propagate any single loop-carried def-use chain; the outer
+// whole-body iteration in Run composes longer chains.
+const maxLoopPasses = 2
+
+// maxBodyPasses bounds the whole-body fixpoint (sanitizer kills make
+// the transfer non-monotone, so we cap instead of testing convergence
+// alone).
+const maxBodyPasses = 4
+
+// Run interprets body under a and returns the converged result. ft is
+// the function's type (for named results); it may be nil for synthetic
+// bodies.
+func Run(ft *ast.FuncType, body *ast.BlockStmt, a *Analysis) *Result {
+	e := &engine{a: a, state: make(map[types.Object]Taint)}
+	seed := func() {
+		for v, t := range a.Seed {
+			e.state[v] = t
+		}
+	}
+	seed()
+	for i := 0; i < maxBodyPasses; i++ {
+		e.changed = false
+		e.stmt(body)
+		seed() // seeds are sticky: a summary run must not lose them
+		if !e.changed {
+			break
+		}
+	}
+	// Final recording pass over the converged state.
+	e.record = true
+	e.expr = make(map[ast.Expr]Taint)
+	e.calls = make(map[*ast.CallExpr][]Taint)
+	e.returns = nil
+	e.curFT = ft
+	e.stmt(body)
+	return &Result{Expr: e.expr, Objects: e.state, Returns: e.returns}
+}
+
+// engine is the mutable interpreter state.
+type engine struct {
+	a       *Analysis
+	state   map[types.Object]Taint
+	expr    map[ast.Expr]Taint        // recording pass only
+	calls   map[*ast.CallExpr][]Taint // per-result call taints, recording pass
+	returns []Return
+	litRets []Taint // join of return taints per open literal frame
+	curFT   *ast.FuncType
+	record  bool
+	changed bool
+}
+
+// setObj strongly updates an object's taint (assignment kills).
+func (e *engine) setObj(o types.Object, t Taint) {
+	if o == nil {
+		return
+	}
+	if old, ok := e.state[o]; !ok && !t.Tainted() {
+		return
+	} else if old == t {
+		return
+	}
+	e.state[o] = t
+	e.changed = true
+}
+
+// joinObj weakly updates an object's taint (container/field stores).
+func (e *engine) joinObj(o types.Object, t Taint) {
+	if o == nil || !t.Tainted() {
+		return
+	}
+	e.setObj(o, Join(e.state[o], t))
+}
+
+func (e *engine) taintOf(o types.Object) Taint {
+	if o == nil {
+		return Taint{}
+	}
+	return e.state[o]
+}
+
+// copyState snapshots the variable state for branch analysis.
+func (e *engine) copyState() map[types.Object]Taint {
+	out := make(map[types.Object]Taint, len(e.state))
+	for k, v := range e.state {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeState joins other into the live state.
+func (e *engine) mergeState(other map[types.Object]Taint) {
+	for o, t := range other {
+		e.joinObj(o, t)
+		if !t.Tainted() {
+			if _, ok := e.state[o]; !ok {
+				e.state[o] = t
+			}
+		}
+	}
+}
+
+func (e *engine) shortPos(pos token.Pos) string {
+	p := e.a.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// ---- statements ----
+
+func (e *engine) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			e.stmt(st)
+		}
+	case *ast.ExprStmt:
+		e.eval(s.X)
+	case *ast.AssignStmt:
+		e.assignStmt(s)
+	case *ast.IncDecStmt:
+		e.store(s.X, e.eval(s.X), false)
+	case *ast.DeclStmt:
+		e.declStmt(s)
+	case *ast.ReturnStmt:
+		e.returnStmt(s)
+	case *ast.IfStmt:
+		e.stmt(s.Init)
+		e.eval(s.Cond)
+		pre := e.copyState()
+		e.stmt(s.Body)
+		then := e.state
+		e.state = pre
+		e.stmt(s.Else) // nil-safe: no-op keeps the fallthrough state
+		e.mergeState(then)
+	case *ast.ForStmt:
+		e.stmt(s.Init)
+		pre := e.copyState()
+		for i := 0; i < maxLoopPasses; i++ {
+			e.eval(s.Cond)
+			e.stmt(s.Body)
+			e.stmt(s.Post)
+		}
+		e.mergeState(pre)
+	case *ast.RangeStmt:
+		e.rangeStmt(s)
+	case *ast.SwitchStmt:
+		e.stmt(s.Init)
+		e.eval(s.Tag)
+		e.branches(len(s.Body.List), func(i int) {
+			cc := s.Body.List[i].(*ast.CaseClause)
+			for _, x := range cc.List {
+				e.eval(x)
+			}
+			for _, st := range cc.Body {
+				e.stmt(st)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		e.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		e.selectStmt(s)
+	case *ast.SendStmt:
+		// The channel carries whatever flows into it.
+		e.store(s.Chan, e.eval(s.Value), false)
+	case *ast.GoStmt:
+		e.eval(s.Call)
+	case *ast.DeferStmt:
+		e.eval(s.Call)
+	case *ast.LabeledStmt:
+		e.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		// break/continue/goto: the structural join already
+		// over-approximates early exits.
+	}
+}
+
+// branches analyzes n alternatives each from a copy of the incoming
+// state and joins all outcomes (including the fall-through state, for
+// constructs that may execute no alternative).
+func (e *engine) branches(n int, fn func(i int)) {
+	pre := e.copyState()
+	for i := 0; i < n; i++ {
+		saved := e.state
+		e.state = copyMap(pre)
+		fn(i)
+		out := e.state
+		e.state = saved
+		e.mergeState(out)
+	}
+}
+
+func copyMap(m map[types.Object]Taint) map[types.Object]Taint {
+	out := make(map[types.Object]Taint, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (e *engine) assignStmt(s *ast.AssignStmt) {
+	strong := true
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+	default:
+		// x += y joins instead of killing.
+		for i, lhs := range s.Lhs {
+			t := Join(e.eval(lhs), e.eval(s.Rhs[i]))
+			e.store(lhs, t, false)
+		}
+		return
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Tuple assignment: prefer per-result call taints when known.
+		t := e.eval(s.Rhs[0])
+		per := e.perResult(s.Rhs[0], len(s.Lhs))
+		for i, lhs := range s.Lhs {
+			ti := t
+			if per != nil {
+				ti = per[i]
+			}
+			e.store(lhs, ti, strong)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		e.store(lhs, e.eval(s.Rhs[i]), strong)
+	}
+}
+
+// perResult returns the per-result taint vector of rhs when it is a
+// call with a per-result Effect of matching arity.
+func (e *engine) perResult(rhs ast.Expr, want int) []Taint {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || e.calls == nil {
+		return nil
+	}
+	if per := e.calls[call]; len(per) == want {
+		return per
+	}
+	return nil
+}
+
+func (e *engine) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			var t Taint
+			switch {
+			case len(vs.Values) == len(vs.Names):
+				t = e.eval(vs.Values[i])
+			case len(vs.Values) == 1:
+				t = e.eval(vs.Values[0])
+			}
+			e.setObj(e.a.Info.Defs[name], t)
+		}
+	}
+}
+
+func (e *engine) returnStmt(s *ast.ReturnStmt) {
+	var ts []Taint
+	switch {
+	case len(s.Results) == 0:
+		// Naked return: read the named results of the current frame.
+		ts = e.namedResultTaints()
+	case len(s.Results) == 1:
+		t := e.eval(s.Results[0])
+		if per := e.perResultAny(s.Results[0]); per != nil {
+			ts = per
+		} else {
+			ts = []Taint{t}
+		}
+	default:
+		for _, r := range s.Results {
+			ts = append(ts, e.eval(r))
+		}
+	}
+	if n := len(e.litRets); n > 0 {
+		e.litRets[n-1] = Join(e.litRets[n-1], JoinAll(ts))
+		return
+	}
+	if e.record {
+		e.returns = append(e.returns, Return{Pos: s.Pos(), Taints: ts})
+	}
+}
+
+func (e *engine) perResultAny(rhs ast.Expr) []Taint {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || e.calls == nil {
+		return nil
+	}
+	if per := e.calls[call]; len(per) > 1 {
+		return per
+	}
+	return nil
+}
+
+// namedResultTaints reads the current function frame's named results.
+// Inside a literal the literal's own type wins; Run's ft covers the
+// outermost frame.
+func (e *engine) namedResultTaints() []Taint {
+	ft := e.curFT
+	if ft == nil || ft.Results == nil {
+		return nil
+	}
+	var ts []Taint
+	for _, f := range ft.Results.List {
+		for _, name := range f.Names {
+			ts = append(ts, e.taintOf(e.a.Info.Defs[name]))
+		}
+	}
+	return ts
+}
+
+func (e *engine) rangeStmt(s *ast.RangeStmt) {
+	tx := e.eval(s.X)
+	src := tx
+	if e.a.TaintMapRange && isMapType(e.a.Info, s.X) {
+		src = Join(src, Taint{Desc: "map iteration order (" + e.shortPos(s.Range) + ")"})
+	}
+	pre := e.copyState()
+	for i := 0; i < maxLoopPasses; i++ {
+		if s.Key != nil {
+			e.store(s.Key, src, true)
+		}
+		if s.Value != nil {
+			e.store(s.Value, src, true)
+		}
+		e.stmt(s.Body)
+	}
+	e.mergeState(pre)
+}
+
+func (e *engine) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	e.stmt(s.Init)
+	// The guard is either `x.(type)` or `v := x.(type)`.
+	var tx Taint
+	switch g := s.Assign.(type) {
+	case *ast.ExprStmt:
+		tx = e.eval(g.X)
+	case *ast.AssignStmt:
+		tx = e.eval(g.Rhs[0])
+	}
+	e.branches(len(s.Body.List), func(i int) {
+		cc := s.Body.List[i].(*ast.CaseClause)
+		// Each clause binds its own implicit object for v.
+		if obj := e.a.Info.Implicits[cc]; obj != nil {
+			e.setObj(obj, tx)
+		}
+		for _, st := range cc.Body {
+			e.stmt(st)
+		}
+	})
+}
+
+func (e *engine) selectStmt(s *ast.SelectStmt) {
+	multi := len(s.Body.List) > 1
+	e.branches(len(s.Body.List), func(i int) {
+		cc := s.Body.List[i].(*ast.CommClause)
+		if cc.Comm != nil {
+			if multi && e.a.TaintSelect {
+				t := Taint{Desc: "select completion order (" + e.shortPos(s.Select) + ")"}
+				if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+					e.eval(as.Rhs[0])
+					for _, lhs := range as.Lhs {
+						e.store(lhs, t, true)
+					}
+				} else {
+					e.stmt(cc.Comm)
+				}
+			} else {
+				e.stmt(cc.Comm)
+			}
+		}
+		for _, st := range cc.Body {
+			e.stmt(st)
+		}
+	})
+}
+
+// store writes taint t to the lvalue lhs. Plain variables take a strong
+// update (reassignment kills); element, field, and indirect stores join
+// into the base object. A store into a map element contributes only the
+// value's taint — map contents are key-addressed, so insertion order
+// (a tainted loop key) does not make the map order-dependent — while a
+// store into a slice joins the index too, since slice contents are
+// position-addressed.
+func (e *engine) store(lhs ast.Expr, t Taint, strong bool) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		obj := e.a.Info.Defs[x]
+		if obj == nil {
+			obj = e.a.Info.Uses[x]
+		}
+		if strong {
+			e.setObj(obj, t)
+		} else {
+			e.joinObj(obj, t)
+		}
+	case *ast.ParenExpr:
+		e.store(x.X, t, strong)
+	case *ast.StarExpr:
+		e.eval(x.X)
+		e.store(x.X, t, false)
+	case *ast.SelectorExpr:
+		e.eval(x.X)
+		e.store(x.X, t, false)
+	case *ast.IndexExpr:
+		ti := e.eval(x.Index)
+		e.eval(x.X)
+		if isMapType(e.a.Info, x.X) {
+			e.store(x.X, t, false)
+		} else {
+			e.store(x.X, Join(t, ti), false)
+		}
+	}
+}
+
+// ---- expressions ----
+
+// eval computes the taint of x in the current state, recording it
+// during the final pass.
+func (e *engine) eval(x ast.Expr) (t Taint) {
+	if x == nil {
+		return Taint{}
+	}
+	if e.record {
+		defer func() { e.expr[x] = t }()
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		obj := e.a.Info.Uses[x]
+		if obj == nil {
+			obj = e.a.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return e.taintOf(v)
+		}
+		return Taint{}
+	case *ast.BasicLit:
+		return Taint{}
+	case *ast.ParenExpr:
+		return e.eval(x.X)
+	case *ast.SelectorExpr:
+		// pkg.Var reads the package-level variable; x.f reads through x.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := e.a.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := e.a.Info.Uses[x.Sel].(*types.Var); ok {
+					return e.taintOf(v)
+				}
+				return Taint{}
+			}
+		}
+		return e.eval(x.X)
+	case *ast.IndexExpr:
+		// Instantiated generic function values carry no taint.
+		if _, ok := e.a.Info.Types[x.X]; ok {
+			if _, isFn := e.a.Info.Types[x.X].Type.(*types.Signature); isFn {
+				return e.eval(x.X)
+			}
+		}
+		return Join(e.eval(x.X), e.eval(x.Index))
+	case *ast.IndexListExpr:
+		return e.eval(x.X)
+	case *ast.SliceExpr:
+		t := e.eval(x.X)
+		t = Join(t, e.eval(x.Low))
+		t = Join(t, e.eval(x.High))
+		return Join(t, e.eval(x.Max))
+	case *ast.StarExpr:
+		return e.eval(x.X)
+	case *ast.UnaryExpr:
+		return e.eval(x.X)
+	case *ast.BinaryExpr:
+		return Join(e.eval(x.X), e.eval(x.Y))
+	case *ast.KeyValueExpr:
+		return e.eval(x.Value)
+	case *ast.CompositeLit:
+		var t Taint
+		for _, elt := range x.Elts {
+			t = Join(t, e.eval(elt))
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return e.eval(x.X)
+	case *ast.FuncLit:
+		return e.funcLit(x)
+	case *ast.CallExpr:
+		return e.call(x)
+	case *ast.Ellipsis, *ast.ArrayType, *ast.StructType, *ast.FuncType,
+		*ast.InterfaceType, *ast.MapType, *ast.ChanType, *ast.BadExpr:
+		return Taint{}
+	}
+	return Taint{}
+}
+
+// funcLit analyzes a literal inline, sharing the enclosing state (its
+// captures read and write the same objects). The literal's value
+// carries the join of its own return taints, so a closure handed to a
+// higher-order function (exec.Map) propagates what it would return.
+func (e *engine) funcLit(lit *ast.FuncLit) Taint {
+	e.litRets = append(e.litRets, Taint{})
+	savedFT := e.curFT
+	e.curFT = lit.Type
+	e.stmt(lit.Body)
+	e.curFT = savedFT
+	t := e.litRets[len(e.litRets)-1]
+	e.litRets = e.litRets[:len(e.litRets)-1]
+	return t
+}
+
+// call interprets one call expression.
+func (e *engine) call(call *ast.CallExpr) Taint {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if isFuncExpr(e.a.Info, ix.X) {
+			fun = ast.Unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+
+	// Builtins and conversions first.
+	if id, ok := fun.(*ast.Ident); ok {
+		switch obj := identObj(e.a.Info, id).(type) {
+		case *types.Builtin:
+			return e.builtin(obj.Name(), call)
+		case *types.TypeName:
+			var t Taint
+			for _, a := range call.Args {
+				t = Join(t, e.eval(a))
+			}
+			return t
+		}
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if _, isType := identObj(e.a.Info, sel.Sel).(*types.TypeName); isType {
+			var t Taint
+			for _, a := range call.Args {
+				t = Join(t, e.eval(a))
+			}
+			return t
+		}
+	}
+
+	// Receiver and argument taints.
+	var recv Taint
+	var recvExpr ast.Expr
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, isIdent := sel.X.(*ast.Ident); !isIdent || !isPkgName(e.a.Info, id) {
+			recvExpr = sel.X
+			recv = e.eval(sel.X)
+		}
+	}
+	args := make([]Taint, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = e.eval(a)
+	}
+	// A dynamic callee (function-typed value) contributes its own taint.
+	var funTaint Taint
+	if Callee(e.a.Info, call) == nil && recvExpr == nil {
+		funTaint = e.eval(fun)
+	}
+
+	eff, ok := Effect{}, false
+	if e.a.Call != nil {
+		eff, ok = e.a.Call(call, recv, args)
+	}
+	if !ok {
+		eff = Effect{Propagate: true}
+	}
+
+	// Sanitizers: kill the named argument objects.
+	killed := make(map[types.Object]bool)
+	for _, k := range eff.Kills {
+		if o := BaseObj(e.a.Info, k); o != nil {
+			e.setObj(o, Taint{})
+			killed[o] = true
+		}
+	}
+
+	inputs := Join(Join(recv, funTaint), JoinAll(args))
+	result := eff.Result
+	if eff.Propagate {
+		result = Join(result, inputs)
+	}
+
+	// Mutation rule: a call whose body we cannot fully trust may store
+	// a tainted input into its receiver or any pointer-typed argument.
+	if inputs.Tainted() && !eff.NoMutation {
+		if recvExpr != nil {
+			if o := BaseObj(e.a.Info, recvExpr); o != nil && !killed[o] {
+				e.joinObj(o, inputs)
+			}
+		}
+		for _, a := range call.Args {
+			if !isPointerish(e.a.Info, a) {
+				continue
+			}
+			if o := BaseObj(e.a.Info, a); o != nil && !killed[o] {
+				e.joinObj(o, inputs)
+			}
+		}
+	}
+
+	if e.record {
+		arity := resultArity(e.a.Info, call)
+		per := eff.Results
+		if len(per) != arity {
+			per = nil
+		}
+		if per == nil && arity > 1 {
+			per = make([]Taint, arity)
+			for i := range per {
+				per[i] = result
+			}
+		}
+		if per != nil {
+			joined := make([]Taint, len(per))
+			for i, p := range per {
+				joined[i] = Join(p, eff.Result)
+				if eff.Propagate {
+					joined[i] = Join(joined[i], inputs)
+				}
+			}
+			e.calls[call] = joined
+			return JoinAll(joined)
+		}
+	}
+	return Join(result, JoinAll(eff.Results))
+}
+
+func (e *engine) builtin(name string, call *ast.CallExpr) Taint {
+	var join Taint
+	for _, a := range call.Args {
+		join = Join(join, e.eval(a))
+	}
+	switch name {
+	case "len", "cap", "make", "new", "delete", "close", "recover", "print", "println", "clear":
+		// len(m) and friends are order-independent observations; the
+		// allocators return fresh clean values.
+		return Taint{}
+	case "copy":
+		// copy(dst, src) stores src's taint into dst.
+		if len(call.Args) == 2 {
+			if o := BaseObj(e.a.Info, call.Args[0]); o != nil {
+				e.joinObj(o, e.expr0(call.Args[1]))
+			}
+		}
+		return Taint{}
+	case "append":
+		return join
+	default: // min, max, complex, real, imag, panic, ...
+		return join
+	}
+}
+
+// expr0 re-evaluates without recording (helper for builtin copy).
+func (e *engine) expr0(x ast.Expr) Taint {
+	saved := e.record
+	e.record = false
+	t := e.eval(x)
+	e.record = saved
+	return t
+}
+
+// ---- type/object helpers ----
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+func isPkgName(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.PkgName)
+	return ok
+}
+
+func isFuncExpr(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig
+}
+
+func isMapType(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isPointerish reports whether passing x can hand the callee a handle
+// to the caller's memory (pointer, or explicit address-of).
+func isPointerish(info *types.Info, x ast.Expr) bool {
+	if u, ok := ast.Unparen(x).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return true
+	}
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isPtr := tv.Type.Underlying().(*types.Pointer)
+	return isPtr
+}
+
+func resultArity(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return 1
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		return tuple.Len()
+	}
+	return 1
+}
+
+// BaseObj unwraps an lvalue/handle chain (x, x.f, x[i], *x, &x and
+// combinations) to the variable object at its base, or nil.
+func BaseObj(info *types.Info, x ast.Expr) types.Object {
+	for {
+		switch v := x.(type) {
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return nil
+			}
+			x = v.X
+		case *ast.SliceExpr:
+			x = v.X
+		case *ast.SelectorExpr:
+			if id, ok := v.X.(*ast.Ident); ok && isPkgName(info, id) {
+				return info.Uses[v.Sel]
+			}
+			x = v.X
+		case *ast.Ident:
+			if obj, ok := identObj(info, v).(*types.Var); ok {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// Callee resolves a call's static target — a package-level function or
+// a method with a concrete declaration — or nil for builtins,
+// conversions, function-typed values, and interface methods whose
+// concrete target is unknown. Generic instantiations are unwrapped.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if isFuncExpr(info, ix.X) {
+			fun = ast.Unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := identObj(info, f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := identObj(info, f.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}

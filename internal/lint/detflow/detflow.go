@@ -1,0 +1,525 @@
+// Package detflow defines the flow-sensitive determinism analyzer: it
+// proves that no nondeterministic value reaches a simulation result.
+// Where the older determinism analyzer bans calls syntactically
+// ("never mention time.Now"), detflow taints the VALUES such calls
+// produce and follows them along def-use chains (internal/lint/
+// dataflow), reporting only when a tainted value reaches a result
+// sink. Logging a wall-clock timestamp to stderr is therefore legal
+// without suppression, while returning one from an exported simulator
+// API is not.
+//
+// Sources (what taints a value):
+//   - the wall clock: time.Now / time.Since / time.Until
+//   - the process environment: os.Getenv, os.LookupEnv, os.Environ,
+//     os.Hostname, os.Getpid
+//   - the unseeded process-global math/rand generator (rand.Int and
+//     friends; rand.New(rand.NewSource(seed)) stays clean because the
+//     taint of a seeded generator is just the taint of its seed)
+//   - map iteration order: the key/value variables of a range over a
+//     map, and maps.Keys / maps.Values
+//   - scheduling order: values bound by a multi-case select
+//   - pointer identity: fmt verbs formatting with %p
+//
+// Sanitizers (what cleans a value): sorting. sort.Strings over
+// collected map keys yields a deterministic slice, so the engine kills
+// the argument's taint at sort.Sort/Stable/Strings/Ints/Float64s/
+// Slice/SliceStable and slices.Sort/SortFunc/SortStableFunc (and
+// treats the slices.Sorted* forms as clean results).
+//
+// Sinks (where taint becomes a finding):
+//   - results of exported functions and methods in the deterministic
+//     result packages internal/sim, internal/cluster,
+//     internal/campaign, internal/report;
+//   - values handed to JSON/CSV encoders anywhere in the module
+//     (json.Marshal, (*json.Encoder).Encode, (*csv.Writer).Write...);
+//   - in the result packages and in cmd/*, values emitted to a
+//     non-local writer (fmt.Fprintf to a parameter or os.Stdout,
+//     os.WriteFile, Write/WriteString methods). os.Stderr and the log
+//     package are exempt: that is the logging-only allowance.
+//
+// Flow is composed interprocedurally inside each package by per-
+// function summaries over internal/lint/callgraph: for every
+// same-package callee the analyzer computes (a) the internal taint of
+// each result and (b) whether parameters flow to results, memoized,
+// with cycles resolved conservatively. Cross-package calls propagate
+// argument taint to results (and may store tainted arguments into
+// pointer arguments), which keeps each package's verdict sound without
+// whole-program analysis.
+package detflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/dataflow"
+)
+
+// Analyzer reports nondeterministic values that flow into simulation
+// results, encoded output, or cmd/* emitted output.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "forbid nondeterministic values (wall clock, environment, unseeded rand, " +
+		"map iteration order, select order, %p) from flowing into exported results, " +
+		"JSON/CSV encodings, or cmd output; sort map keys before emission",
+	Run: run,
+}
+
+// resultPkgs are the packages whose exported APIs promise bit-identical
+// results for identical (config, seed); their return values are sinks.
+var resultPkgs = []string{
+	"repro/internal/sim",
+	"repro/internal/cluster",
+	"repro/internal/campaign",
+	"repro/internal/report",
+}
+
+func isResultPkg(path string) bool {
+	for _, p := range resultPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isCmdPkg reports whether path is a command: everything a command
+// prints (except stderr logging) is program output and must be
+// deterministic.
+func isCmdPkg(path string) bool {
+	return strings.HasPrefix(path, "repro/cmd/") || strings.Contains(path, "/cmd/")
+}
+
+// sourceFuncs maps package-level functions to the provenance of the
+// nondeterminism they introduce.
+var sourceFuncs = map[string]string{
+	"time.Now":     "wall clock via time.Now",
+	"time.Since":   "wall clock via time.Since",
+	"time.Until":   "wall clock via time.Until",
+	"os.Getenv":    "process environment via os.Getenv",
+	"os.LookupEnv": "process environment via os.LookupEnv",
+	"os.Environ":   "process environment via os.Environ",
+	"os.Hostname":  "host identity via os.Hostname",
+	"os.Getpid":    "process identity via os.Getpid",
+	"maps.Keys":    "map iteration order via maps.Keys",
+	"maps.Values":  "map iteration order via maps.Values",
+}
+
+// sortKills are the sort-package sanitizers that order their first
+// argument in place.
+var sortKills = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+}
+
+// slicesKills are the in-place slices-package sanitizers.
+var slicesKills = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true,
+}
+
+// slicesClean are slices-package functions whose result is sorted and
+// therefore deterministic regardless of input order.
+var slicesClean = map[string]bool{
+	"Sorted": true, "SortedFunc": true, "SortedStableFunc": true,
+}
+
+// fmtFormatArg gives, for fmt functions with a format string, the index
+// of that format argument (for the %p source check).
+var fmtFormatArg = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Errorf": 0, "Fprintf": 1, "Appendf": 1,
+}
+
+func run(pass *analysis.Pass) error {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !analysis.IsTestFile(pass.Fset, f.Pos()) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	d := &checker{
+		pass:    pass,
+		g:       callgraph.Build(pass.Fset, files, pass.TypesInfo),
+		sums:    make(map[*types.Func]summary),
+		running: make(map[*types.Func]bool),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			res := dataflow.Run(fd.Type, fd.Body, d.config(nil))
+			d.checkReturnSink(fd, res)
+			d.checkCallSinks(fd, res)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	g       *callgraph.Graph
+	sums    map[*types.Func]summary
+	running map[*types.Func]bool
+}
+
+// summary is the interprocedural abstraction of one same-package
+// function: the internal nondeterminism each result carries, and
+// whether parameter taint flows to any result.
+type summary struct {
+	results []dataflow.Taint
+	argFlow bool
+}
+
+func (d *checker) config(seed map[*types.Var]dataflow.Taint) *dataflow.Analysis {
+	return &dataflow.Analysis{
+		Info:          d.pass.TypesInfo,
+		Fset:          d.pass.Fset,
+		Call:          d.effect,
+		TaintMapRange: true,
+		TaintSelect:   true,
+		Seed:          seed,
+	}
+}
+
+// effect is the dataflow engine's call hook: it classifies sources,
+// sanitizers, and same-package callees (via summaries); everything else
+// falls back to the engine's conservative propagate-and-mutate default.
+func (d *checker) effect(call *ast.CallExpr, recv dataflow.Taint, args []dataflow.Taint) (dataflow.Effect, bool) {
+	info := d.pass.TypesInfo
+	fn := dataflow.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return dataflow.Effect{}, false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+
+	if !isMethod {
+		if desc, ok := sourceFuncs[path+"."+name]; ok {
+			return d.source(call, desc), true
+		}
+		switch path {
+		case "math/rand", "math/rand/v2":
+			if strings.HasPrefix(name, "New") {
+				// Seeded generators: as deterministic as their seed.
+				return dataflow.Effect{Propagate: true, NoMutation: true}, true
+			}
+			return d.source(call, "unseeded "+path+"."+name), true
+		case "fmt":
+			if idx, ok := fmtFormatArg[name]; ok && formatHasPointerVerb(info, call, idx) {
+				return d.source(call, "pointer formatting (%p) via fmt."+name), true
+			}
+		case "sort":
+			if sortKills[name] && len(call.Args) > 0 {
+				return dataflow.Effect{Kills: call.Args[:1], NoMutation: true}, true
+			}
+		case "slices":
+			if slicesKills[name] && len(call.Args) > 0 {
+				return dataflow.Effect{Kills: call.Args[:1], NoMutation: true}, true
+			}
+			if slicesClean[name] {
+				return dataflow.Effect{NoMutation: true}, true
+			}
+		}
+	}
+
+	// Same-package callee: use its memoized summary.
+	if fn.Pkg() == d.pass.Pkg {
+		if n := d.g.NodeOf(fn); n != nil && n.Decl != nil {
+			s := d.summaryOf(fn, n)
+			return dataflow.Effect{
+				Result:    dataflow.JoinAll(s.results),
+				Results:   s.results,
+				Propagate: s.argFlow,
+			}, true
+		}
+	}
+	return dataflow.Effect{}, false
+}
+
+// source builds a source Effect whose description pins the origin
+// position, so the eventual diagnostic names where taint entered.
+func (d *checker) source(call *ast.CallExpr, desc string) dataflow.Effect {
+	p := d.pass.Fset.Position(call.Pos())
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return dataflow.Effect{
+		Result:     dataflow.Taint{Desc: desc + " (" + file + ":" + itoa(p.Line) + ")"},
+		NoMutation: true,
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// formatHasPointerVerb reports whether the call's format argument is a
+// constant string containing a %p verb.
+func formatHasPointerVerb(info *types.Info, call *ast.CallExpr, idx int) bool {
+	if idx >= len(call.Args) {
+		return false
+	}
+	tv, ok := info.Types[call.Args[idx]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%p")
+}
+
+// summaryOf computes (memoized) the summary of one same-package
+// function by running the engine twice over its body: once unseeded to
+// find internal sources reaching its results, once with every parameter
+// and the receiver seeded to detect parameter-to-result flow. Cycles
+// resolve to the conservative "parameters flow" summary.
+func (d *checker) summaryOf(fn *types.Func, n *callgraph.Node) summary {
+	if s, ok := d.sums[fn]; ok {
+		return s
+	}
+	if d.running[fn] {
+		return summary{argFlow: true}
+	}
+	d.running[fn] = true
+	defer delete(d.running, fn)
+
+	sig := fn.Type().(*types.Signature)
+	arity := sig.Results().Len()
+
+	resA := dataflow.Run(n.Decl.Type, n.Body, d.config(nil))
+	results := make([]dataflow.Taint, arity)
+	for _, ret := range resA.Returns {
+		if len(ret.Taints) == arity {
+			for i, t := range ret.Taints {
+				results[i] = dataflow.Join(results[i], dataflow.Taint{Desc: t.Desc})
+			}
+			continue
+		}
+		j := dataflow.JoinAll(ret.Taints)
+		for i := range results {
+			results[i] = dataflow.Join(results[i], dataflow.Taint{Desc: j.Desc})
+		}
+	}
+
+	seed := make(map[*types.Var]dataflow.Taint)
+	if r := sig.Recv(); r != nil {
+		seed[r] = dataflow.Taint{Param: true}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		seed[sig.Params().At(i)] = dataflow.Taint{Param: true}
+	}
+	argFlow := false
+	if len(seed) > 0 && arity > 0 {
+		resB := dataflow.Run(n.Decl.Type, n.Body, d.config(seed))
+		for _, ret := range resB.Returns {
+			if dataflow.JoinAll(ret.Taints).Param {
+				argFlow = true
+				break
+			}
+		}
+	}
+
+	s := summary{results: results, argFlow: argFlow}
+	d.sums[fn] = s
+	return s
+}
+
+// checkReturnSink reports internal taint reaching the results of an
+// exported function or method in a deterministic result package.
+func (d *checker) checkReturnSink(fd *ast.FuncDecl, res *dataflow.Result) {
+	if !isResultPkg(d.pass.Pkg.Path()) || !fd.Name.IsExported() {
+		return
+	}
+	for _, ret := range res.Returns {
+		for _, t := range ret.Taints {
+			if t.Desc != "" {
+				d.pass.Reportf(ret.Pos, "nondeterministic value (%s) flows to the result of exported %s; "+
+					"simulation results must be a pure function of (config, seed)", t.Desc, funcDisplayName(fd))
+				break
+			}
+		}
+	}
+}
+
+// checkCallSinks reports taint handed to encoders anywhere, and to
+// non-local writers in result packages and commands.
+func (d *checker) checkCallSinks(fd *ast.FuncDecl, res *dataflow.Result) {
+	info := d.pass.TypesInfo
+	path := d.pass.Pkg.Path()
+	emissionPkg := isResultPkg(path) || isCmdPkg(path)
+	params := paramObjs(info, fd)
+
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := dataflow.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		fpath, name := fn.Pkg().Path(), fn.Name()
+		sig, _ := fn.Type().(*types.Signature)
+		isMethod := sig != nil && sig.Recv() != nil
+
+		// Encoders are sinks module-wide: encoded bytes are results.
+		switch {
+		case fpath == "encoding/json" && !isMethod && (name == "Marshal" || name == "MarshalIndent"):
+			d.reportTainted(res, call.Args, "JSON encoding")
+			return true
+		case fpath == "encoding/json" && isMethod && name == "Encode":
+			d.reportTainted(res, call.Args, "JSON encoding")
+			return true
+		case fpath == "encoding/csv" && isMethod && (name == "Write" || name == "WriteAll"):
+			d.reportTainted(res, call.Args, "CSV encoding")
+			return true
+		}
+
+		if !emissionPkg {
+			return true
+		}
+
+		// Writer sinks: emission to anything non-local. The log
+		// package and os.Stderr are the logging-only allowance.
+		if fpath == "log" {
+			return true
+		}
+		switch {
+		case fpath == "fmt" && (name == "Fprintf" || name == "Fprintln" || name == "Fprint"):
+			if len(call.Args) > 0 && d.isEmissionDest(call.Args[0], params) {
+				d.reportTainted(res, call.Args[1:], "emitted output")
+			}
+		case fpath == "fmt" && (name == "Printf" || name == "Println" || name == "Print"):
+			d.reportTainted(res, call.Args, "emitted output (os.Stdout)")
+		case fpath == "io" && name == "WriteString":
+			if len(call.Args) > 0 && d.isEmissionDest(call.Args[0], params) {
+				d.reportTainted(res, call.Args[1:], "emitted output")
+			}
+		case fpath == "os" && name == "WriteFile":
+			d.reportTainted(res, call.Args[:len(call.Args)-1], "written file")
+		case isMethod && strings.HasPrefix(name, "Write"):
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && d.isEmissionDest(sel.X, params) {
+				d.reportTainted(res, call.Args, "emitted output")
+			}
+		}
+		return true
+	})
+}
+
+// reportTainted reports the first internally tainted argument (one
+// finding per sink call keeps diagnostics readable).
+func (d *checker) reportTainted(res *dataflow.Result, args []ast.Expr, what string) {
+	for _, a := range args {
+		if t := res.Expr[a]; t.Desc != "" {
+			d.pass.Reportf(a.Pos(), "nondeterministic value (%s) flows into %s; "+
+				"sort map keys (or derive the value from config/seed) before emitting", t.Desc, what)
+			return
+		}
+	}
+}
+
+// isEmissionDest decides whether writing to dest emits program output:
+// os.Stdout, package-level writers, writer parameters, and files are
+// sinks; os.Stderr is logging; a local buffer is not a sink (taint
+// accumulates in it instead, and is caught when the buffer is flushed
+// to a real sink).
+func (d *checker) isEmissionDest(dest ast.Expr, params map[types.Object]bool) bool {
+	info := d.pass.TypesInfo
+	if sel, ok := ast.Unparen(dest).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				return sel.Sel.Name != "Stderr"
+			}
+		}
+	}
+	obj := dataflow.BaseObj(info, dest)
+	if obj == nil {
+		return true // unresolvable destination: assume it emits
+	}
+	if params[obj] {
+		return true
+	}
+	if obj.Parent() == d.pass.Pkg.Scope() {
+		return true // package-level writer
+	}
+	if tv, ok := info.Types[dest]; ok && tv.Type != nil {
+		if isFileLike(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFileLike recognizes writer types that reach the outside world even
+// when held in a local variable: *os.File and the stdlib writers that
+// wrap one.
+func isFileLike(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "os.File", "bufio.Writer", "text/tabwriter.Writer", "encoding/csv.Writer":
+		return true
+	}
+	return false
+}
+
+// paramObjs collects the parameter and receiver objects of fd, which
+// count as emission destinations (the caller handed us its writer).
+func paramObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if o := info.Defs[name]; o != nil {
+					out[o] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return out
+}
+
+// funcDisplayName renders "Run" or "(*Runner).Run".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

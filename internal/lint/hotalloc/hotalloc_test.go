@@ -1,0 +1,24 @@
+package hotalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/hotalloc"
+)
+
+// TestHotalloc runs the fixture covering direct allocation in an
+// annotated root, allocation via a reached callee, the suppression
+// escape hatch, the cold-panic-helper exemption, closure capture
+// (including loop variables), fmt on the hot path, interface boxing,
+// and the dangling-annotation diagnostic.
+func TestHotalloc(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, hotalloc.Analyzer,
+		"fixtures/hotalloc",
+	)
+}

@@ -8,16 +8,19 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/concsafety"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/detflow"
 	"repro/internal/lint/erraudit"
 	"repro/internal/lint/floateq"
+	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/panicfree"
 	"repro/internal/lint/sharedstate"
 	"repro/internal/lint/unitsafety"
 )
 
 // Analyzers is the full repolint suite, in reporting order: the four
-// intra-function gates from v1, then the v2 interprocedural gates built
-// on internal/lint/callgraph.
+// intra-function gates from v1, the v2 interprocedural gates built on
+// internal/lint/callgraph, then the v3 flow-sensitive gates built on
+// internal/lint/dataflow.
 var Analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	floateq.Analyzer,
@@ -26,6 +29,8 @@ var Analyzers = []*analysis.Analyzer{
 	sharedstate.Analyzer,
 	concsafety.Analyzer,
 	erraudit.Analyzer,
+	detflow.Analyzer,
+	hotalloc.Analyzer,
 }
 
 // ByName returns the analyzer with the given name, or nil.

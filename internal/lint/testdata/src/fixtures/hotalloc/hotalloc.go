@@ -1,0 +1,98 @@
+// Package hotalloc exercises the //lint:hotpath allocation discipline:
+// direct allocation in an annotated root, allocation via a transitively
+// reached callee, the suppression escape hatch, the cold-panic-helper
+// exemption, and closure-capture detection.
+package hotalloc
+
+import "fmt"
+
+// Direct allocates in the annotated function itself.
+//
+//lint:hotpath
+func Direct(buf []int, v int) []int {
+	return append(buf, v) // want `append may grow`
+}
+
+// ViaCallee reaches the allocation through a call.
+//
+//lint:hotpath
+func ViaCallee(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	m := make([]int, n) // want `make allocates`
+	return len(m)
+}
+
+// Suppressed shows the escape hatch: a justified //lint:allow keeps the
+// finding quiet, and the suppression inventory keeps the directive
+// honest.
+//
+//lint:hotpath
+func Suppressed(buf []byte, b byte) []byte {
+	return append(buf, b) //lint:allow hotalloc (amortized growth; capacity is reused)
+}
+
+// Checked calls a cold panic helper, which is exempt even though its
+// body formats with fmt: a function whose whole body is one panic call
+// runs at most once per process death.
+//
+//lint:hotpath
+func Checked(v int) int {
+	if v < 0 {
+		reject(v)
+	}
+	return v * 2
+}
+
+func reject(v int) {
+	panic(fmt.Sprintf("hotalloc fixture: bad value %d", v))
+}
+
+// Closures: a non-capturing literal is allocation-free, a capturing one
+// heap-allocates its environment.
+//
+//lint:hotpath
+func Closures(step int) func() {
+	add := func(a, b int) int { return a + b }
+	_ = add(step, step)
+	total := 0
+	return func() { total += step } // want `closure captures variable "total"`
+}
+
+// Loop-variable capture gets called out by name.
+//
+//lint:hotpath
+func PerItem(xs []int) []func() int {
+	var fns []func() int // escape-free declaration, no alloc yet
+	for _, x := range xs {
+		fns = append(fns, func() int { return x }) // want `append may grow` `closure captures loop variable "x"`
+	}
+	return fns
+}
+
+// Formatting on the hot path is flagged: fmt boxes operands and builds
+// fresh strings.
+//
+//lint:hotpath
+func Label(v int) string {
+	return fmt.Sprintf("v=%d", v) // want `fmt\.Sprintf formats`
+}
+
+// Boxing: passing a concrete non-pointer value where an interface is
+// expected allocates; constants and pointer-shaped values do not.
+//
+//lint:hotpath
+func Box(s sink, v int, p *int) {
+	s.take(v) // want `boxes the value`
+	s.take(p)
+	s.take(42)
+}
+
+type sink struct{}
+
+func (sink) take(any) {}
+
+//lint:hotpath // want `does not attach`
+var notAFunction = 3

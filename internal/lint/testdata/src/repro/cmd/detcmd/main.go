@@ -1,0 +1,48 @@
+// Command detcmd exercises detflow's emitted-output sinks: everything a
+// command prints (except stderr logging) is program output and must be
+// deterministic.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// emit prints map keys in iteration order: each run prints a different
+// sequence, so the output files differ run to run.
+func emit(names map[string]bool) {
+	for n := range names {
+		fmt.Printf("%s\n", n) // want `map iteration order`
+	}
+}
+
+// emitSorted collects and sorts first — the standard fix.
+func emitSorted(names map[string]bool) {
+	ks := make([]string, 0, len(names))
+	for n := range names {
+		ks = append(ks, n)
+	}
+	sort.Strings(ks)
+	for _, n := range ks {
+		fmt.Println(n)
+	}
+}
+
+// emitTo shows that a writer handed in by the caller is a sink too.
+func emitTo(w *os.File, names map[string]bool) {
+	for n := range names {
+		fmt.Fprintln(w, n) // want `map iteration order`
+	}
+}
+
+func main() {
+	start := time.Now()
+	names := map[string]bool{"ft.B": true, "sp.A": true}
+	emit(names)
+	emitSorted(names)
+	emitTo(os.Stdout, names)
+	// Wall-clock logging to stderr needs no suppression.
+	fmt.Fprintf(os.Stderr, "took %v\n", time.Since(start))
+}

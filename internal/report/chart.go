@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -50,17 +51,16 @@ func CurveChart(w io.Writer, title string, xs []float64, series map[string][]flo
 	if len(xs) == 0 || len(series) == 0 || rows < 2 {
 		return fmt.Errorf("report: bad curve chart input")
 	}
-	var names []string
-	for name, ys := range series {
-		if len(ys) != len(xs) {
-			return fmt.Errorf("report: series %q length mismatch", name)
-		}
+	names := make([]string, 0, len(series))
+	for name := range series {
 		names = append(names, name)
 	}
-	// Stable marker assignment: sort names.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
+	// Sort before validating or assigning markers: map iteration order
+	// is randomized, and even the error message must be deterministic.
+	sort.Strings(names)
+	for _, name := range names {
+		if len(series[name]) != len(xs) {
+			return fmt.Errorf("report: series %q length mismatch", name)
 		}
 	}
 	markers := "*+ox^@%&"

@@ -121,6 +121,8 @@ func (p *Proc) yield(counted bool) any {
 // available as the yield result. The caller must ensure the process is
 // currently parked; deliverAt transitions it to the waking state so no
 // other waker can race.
+//
+//lint:hotpath every blocking primitive wakes through here
 func (p *Proc) deliverAt(t Time, val any) {
 	if p.state != procParked {
 		panic("sim: wake of a process that is not parked") //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
@@ -148,6 +150,8 @@ func (p *Proc) Now() Time { return p.eng.now }
 
 // Sleep suspends the process for d of virtual time. Zero or negative d
 // still yields, letting same-time events scheduled earlier run first.
+//
+//lint:hotpath the Sleep/wake round trip is the PR 2 zero-alloc win
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0

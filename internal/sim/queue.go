@@ -56,7 +56,7 @@ func (h *eventHeap) less(i, j int) bool {
 }
 
 func (h *eventHeap) push(ev event) {
-	h.items = append(h.items, ev)
+	h.items = append(h.items, ev) //lint:allow hotalloc (amortized growth; steady-state heap capacity is reused, see the zero-alloc benchmarks)
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
