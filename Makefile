@@ -4,8 +4,20 @@ GO      ?= go
 BIN     := bin
 REPOLINT := $(BIN)/repolint
 BENCHOUT := BENCH_sim.json
+BASELINE := BENCH_baseline.json
+PROFILES := profiles
 
-.PHONY: all build test race lint vet vuln bench ci clean
+# Gated benchmarks: the sim-kernel microbenches whose ns/op, B/op, and
+# allocs/op are compared against $(BASELINE) by `make benchdiff`.
+# -benchtime is pinned and -count >= 3 (benchdiff takes the per-metric
+# minimum) so the ns/op band is not defeated by runner noise; the band
+# itself is configurable for noisier machines (hosted runners).
+GATED_PKG       := ./internal/sim
+GATED_BENCHTIME := 500ms
+GATED_COUNT     := 3
+BENCHDIFF_BAND  ?= 40
+
+.PHONY: all build test race lint vet vuln bench bench-baseline benchdiff bench-profile profgate ci clean
 
 all: build
 
@@ -23,20 +35,50 @@ race:
 	$(GO) test -race -count=2 -run 'Parallel|Map' ./internal/exec ./internal/cluster ./internal/campaign
 
 # Simulator throughput benchmarks, archived as NDJSON (one go test
-# -json event per line): the sim-kernel microbenches (ns/op and
-# allocs/op on the Schedule/Sleep hot path), the 8-cell campaign matrix
-# at parallelism 1 vs 8 (their ratio is the fan-out speedup on this
-# machine), one end-to-end paper figure, and the repolint
-# self-benchmarks (full module load + all nine analyzers, plus the
-# flow-sensitive detflow/hotalloc pass alone) so lint wall-time
-# regressions are tracked alongside sim throughput.
+# -json event per line): the sim-kernel microbenches (gated — pinned
+# -benchtime, -count 3), the 8-cell campaign matrix at parallelism 1 vs
+# 8 (their ratio is the fan-out speedup on this machine), one end-to-end
+# paper figure, and the repolint self-benchmarks (full module load + all
+# analyzers, plus the flow-sensitive detflow/hotalloc pass alone) so
+# lint wall-time regressions are tracked alongside sim throughput.
 bench:
 	: > $(BENCHOUT)
-	$(GO) test -json -run '^$$' -bench . -benchmem ./internal/sim >> $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime $(GATED_BENCHTIME) -count $(GATED_COUNT) $(GATED_PKG) >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Campaign8' -benchmem ./internal/campaign >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Fig3FTClassB' -benchmem . >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'RepolintModule|DetflowModule' -benchtime 1x -benchmem ./internal/lint >> $(BENCHOUT)
 	@grep 'ns/op' $(BENCHOUT) | sed 's/.*"Output":"//;s/\\n.*//;s/\\t/  /g' || true
+
+# Refresh the committed benchmark baseline from a fresh run of the
+# gated benches. The baseline is normalized NDJSON — sorted, one record
+# per benchmark, timestamps stripped — so the diff a refresh produces is
+# reviewable instead of rewriting every line's Time field.
+bench-baseline: bench $(REPOLINT)
+	$(REPOLINT) benchdiff -update -baseline $(BASELINE) $(BENCHOUT)
+
+# The benchmark-regression gate: rerun the gated benches and compare
+# against the committed baseline. allocs/op and B/op are exact (the
+# kernel's 0 must stay 0); ns/op tolerates BENCHDIFF_BAND percent.
+benchdiff: bench $(REPOLINT)
+	$(REPOLINT) benchdiff -band $(BENCHDIFF_BAND) -baseline $(BASELINE) $(BENCHOUT)
+
+# Collect CPU profiles from the benchmark suite for the profgate
+# analyzer: the sim-kernel microbenches, the campaign fan-out, and the
+# end-to-end paper figure. Committed under profiles/ so hot-root
+# discovery runs on every `make ci`, not only on machines that just
+# benched. Refresh whenever hot paths move: make bench-profile && make profgate
+bench-profile:
+	@mkdir -p $(PROFILES) $(BIN)
+	$(GO) test -run '^$$' -bench . -benchtime $(GATED_BENCHTIME) -cpuprofile $(CURDIR)/$(PROFILES)/sim.pprof -o $(BIN)/sim.test $(GATED_PKG)
+	$(GO) test -run '^$$' -bench 'Campaign8' -cpuprofile $(CURDIR)/$(PROFILES)/campaign.pprof -o $(BIN)/campaign.test ./internal/campaign
+	$(GO) test -run '^$$' -bench 'Fig3FTClassB' -cpuprofile $(CURDIR)/$(PROFILES)/figure.pprof -o $(BIN)/figure.test .
+
+# Profile-guided hot-root discovery: join the committed CPU profiles
+# against //lint:hotpath reachability. Reports functions the profiles
+# show hot that no annotated root guards, and annotated roots that are
+# cold in every profile. Thresholds: REPOLINT_PROFGATE_CUM/_FLAT/_COLD.
+profgate: $(REPOLINT)
+	REPOLINT_PROFILES=$(PROFILES) $(REPOLINT) -only profgate ./...
 
 $(REPOLINT): $(shell find internal/lint cmd/repolint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
 	@mkdir -p $(BIN)
@@ -51,7 +93,9 @@ lint: $(REPOLINT)
 vet:
 	$(GO) vet ./...
 
-# Best-effort: govulncheck is not vendored; skip quietly when absent.
+# Best-effort locally: govulncheck is not vendored; skip quietly when
+# absent. The CI workflow installs it, so the hosted `make ci` always
+# runs the vuln pass.
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
@@ -59,7 +103,7 @@ vuln:
 		echo "govulncheck not installed; skipping"; \
 	fi
 
-ci: build test lint race vuln
+ci: build test lint race profgate benchdiff vuln
 
 clean:
 	rm -rf $(BIN)

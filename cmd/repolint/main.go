@@ -1,6 +1,6 @@
 // Command repolint runs the repository's analyzer suite (determinism,
 // floateq, unitsafety, panicfree, sharedstate, concsafety, erraudit,
-// detflow, hotalloc — see internal/lint) in two modes:
+// detflow, hotalloc, profgate — see internal/lint) in two modes:
 //
 // Standalone, against package patterns, loading and type-checking the
 // module itself:
@@ -17,7 +17,15 @@
 //	go build -o bin/repolint ./cmd/repolint
 //	go vet -vettool=bin/repolint ./...
 //
-// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+// It also hosts the benchmark-regression gate as a subcommand (see
+// internal/lint/benchdiff):
+//
+//	repolint benchdiff BENCH_sim.json             # compare against BENCH_baseline.json
+//	repolint benchdiff -band 10 BENCH_sim.json    # tighter ns/op band
+//	repolint benchdiff -update BENCH_sim.json     # refresh the baseline
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics/regressions
+// reported.
 package main
 
 import (
@@ -41,6 +49,12 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch happens before flag.Parse so benchdiff can
+	// own its flag set.
+	if len(os.Args) > 1 && os.Args[1] == "benchdiff" {
+		os.Exit(benchdiffMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
+
 	versionFlag := flag.String("V", "", "print version and exit (go vet handshake)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
@@ -68,11 +82,12 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetUnit(args[0], analyzers))
 	}
-	os.Exit(runStandalone(args, analyzers, *jsonOut))
+	os.Exit(runStandalone(args, analyzers, *jsonOut, ".", os.Stdout, os.Stderr))
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: repolint [-only a,b] [package pattern ...]\n"+
+		"       repolint benchdiff [-baseline file] [-band pct] [-update] [stream.json]\n"+
 		"       go vet -vettool=$(command -v repolint) ./...\n\nanalyzers:\n")
 	for _, a := range repolint.Analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -130,22 +145,22 @@ type jsonDiagnostic struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
-// runStandalone loads packages with the module-aware loader and runs
-// every analyzer over every package.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+// runStandalone loads packages with the module-aware loader (rooted at
+// dir) and runs every analyzer over every package.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool, dir string, stdout, stderr io.Writer) int {
 	fset := token.NewFileSet()
-	pkgs, err := loader.Load(fset, ".", patterns...)
+	pkgs, err := loader.Load(fset, dir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
+		fmt.Fprintln(stderr, "repolint:", err)
 		return 1
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	found := 0
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
 			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "repolint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
+				fmt.Fprintf(stderr, "repolint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
 				return 1
 			}
 			for _, d := range pass.Diagnostics() {
@@ -155,11 +170,11 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 						Pos:      fset.Position(d.Pos).String(),
 						Message:  d.Message,
 					}); err != nil {
-						fmt.Fprintln(os.Stderr, "repolint:", err)
+						fmt.Fprintln(stderr, "repolint:", err)
 						return 1
 					}
 				} else {
-					fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+					fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 				}
 				found++
 			}
@@ -171,7 +186,7 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 						Message:    s.Message,
 						Suppressed: true,
 					}); err != nil {
-						fmt.Fprintln(os.Stderr, "repolint:", err)
+						fmt.Fprintln(stderr, "repolint:", err)
 						return 1
 					}
 				}
@@ -180,7 +195,7 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 	}
 	if found > 0 {
 		if !jsonOut {
-			fmt.Fprintf(os.Stderr, "repolint: %d diagnostic(s)\n", found)
+			fmt.Fprintf(stderr, "repolint: %d diagnostic(s)\n", found)
 		}
 		return 2
 	}

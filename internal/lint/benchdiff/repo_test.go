@@ -1,0 +1,25 @@
+package benchdiff
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// readRepoFile reads a file from the module root (walking up from the
+// test's working directory to go.mod).
+func readRepoFile(name string) ([]byte, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return os.ReadFile(filepath.Join(dir, name))
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,115 @@
+package profgate_test
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/profgate"
+)
+
+// fixtureDir is the shared analysistest fixture package; the synthetic
+// profiles live next to the fixture source so REPOLINT_PROFILES can
+// point at the package directory.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// fixtureProfiles builds the two committed synthetic profiles. Shares
+// one definition between regeneration and verification so the committed
+// bytes, this test, and the fixture's want comments cannot drift apart.
+//
+// synth.pprof, 1000 samples total:
+//
+//	300  HotLoop <- Driver          HotLoop flat 30%
+//	100  HotLoop.func1 <- HotLoop <- Driver   (closure folds into HotLoop: flat 40%, cum 40%)
+//	  5  Driver                     Driver flat 0.5% (below the flat floor), cum 40.5%
+//	300  GuardedKernel              hot but annotated: clean
+//	200  SuppressedHot              hot, unannotated, suppressed in the fixture
+//	 95  other/pkg.Work <- runtime.main   foreign package noise
+//
+// cold.pprof samples only the foreign package, so it must not count as
+// covering fixtures/profgate (ColdRoot is stale "in all 1 profile(s)",
+// not 2).
+func fixtureProfiles() map[string][]byte {
+	synth := profgate.NewBuilder("samples", "count")
+	synth.Add(300, "fixtures/profgate.HotLoop", "fixtures/profgate.Driver")
+	synth.Add(100, "fixtures/profgate.HotLoop.func1", "fixtures/profgate.HotLoop", "fixtures/profgate.Driver")
+	synth.Add(5, "fixtures/profgate.Driver")
+	synth.Add(300, "fixtures/profgate.GuardedKernel")
+	synth.Add(200, "fixtures/profgate.SuppressedHot")
+	synth.Add(95, "other/pkg.Work", "runtime.main")
+
+	cold := profgate.NewBuilder("samples", "count")
+	cold.Add(50, "other/pkg.Work")
+
+	return map[string][]byte{
+		"synth.pprof": synth.Bytes(),
+		"cold.pprof":  cold.Bytes(),
+	}
+}
+
+// TestFixtureProfilesCommitted verifies the committed synthetic
+// profiles byte-match the builder definition above (gzip in the
+// standard library is deterministic, so this is stable). Regenerate
+// after editing fixtureProfiles with:
+//
+//	PROFGATE_WRITE_FIXTURES=1 go test ./internal/lint/profgate -run FixtureProfiles
+func TestFixtureProfilesCommitted(t *testing.T) {
+	dir := filepath.Join(fixtureDir(t), "src", "fixtures", "profgate")
+	for name, want := range fixtureProfiles() {
+		path := filepath.Join(dir, name)
+		if os.Getenv("PROFGATE_WRITE_FIXTURES") == "1" {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", path, len(want))
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with PROFGATE_WRITE_FIXTURES=1)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s is stale: committed %d bytes != generated %d bytes "+
+				"(regenerate with PROFGATE_WRITE_FIXTURES=1)", name, len(got), len(want))
+		}
+	}
+}
+
+// TestProfgate is the acceptance fixture for the profile→callgraph
+// join: the committed synthetic profile makes the unannotated hot
+// function and the stale root report (see the want comments in the
+// fixture), the guarded kernel and the flat-floored driver stay clean,
+// and the //lint:allow profgate escape hatch suppresses.
+func TestProfgate(t *testing.T) {
+	dir := fixtureDir(t)
+	t.Setenv("REPOLINT_PROFILES", filepath.Join(dir, "src", "fixtures", "profgate"))
+	analysistest.Run(t, dir, profgate.Analyzer,
+		"fixtures/profgate",
+	)
+}
+
+// TestProfgateOffByDefault pins the no-op contract: without
+// REPOLINT_PROFILES the analyzer must report nothing and touch no
+// files, so ordinary `make lint` and `go vet` runs pay nothing for the
+// gate.
+func TestProfgateOffByDefault(t *testing.T) {
+	t.Setenv("REPOLINT_PROFILES", "")
+	pass := analysis.NewPass(profgate.Analyzer, token.NewFileSet(), nil, nil, nil)
+	if err := profgate.Analyzer.Run(pass); err != nil {
+		t.Fatalf("profgate with no profiles configured: %v", err)
+	}
+	if n := len(pass.Diagnostics()); n != 0 {
+		t.Errorf("profgate with no profiles configured reported %d diagnostics, want 0", n)
+	}
+}

@@ -13,14 +13,17 @@ import (
 	"repro/internal/lint/floateq"
 	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/panicfree"
+	"repro/internal/lint/profgate"
 	"repro/internal/lint/sharedstate"
 	"repro/internal/lint/unitsafety"
 )
 
 // Analyzers is the full repolint suite, in reporting order: the four
 // intra-function gates from v1, the v2 interprocedural gates built on
-// internal/lint/callgraph, then the v3 flow-sensitive gates built on
-// internal/lint/dataflow.
+// internal/lint/callgraph, the v3 flow-sensitive gates built on
+// internal/lint/dataflow, then the v4 profile-guided gate (a no-op
+// unless REPOLINT_PROFILES points at benchmark CPU profiles; see `make
+// profgate`).
 var Analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	floateq.Analyzer,
@@ -31,6 +34,7 @@ var Analyzers = []*analysis.Analyzer{
 	erraudit.Analyzer,
 	detflow.Analyzer,
 	hotalloc.Analyzer,
+	profgate.Analyzer,
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -1,0 +1,75 @@
+// Package profgate exercises the profile→callgraph join: a hot
+// function no //lint:hotpath root reaches (reported, including when the
+// samples land in one of its closures), a hot driver whose time is all
+// in callees (not reported: flat floor), an annotated kernel that is
+// hot (clean), an annotated root that is cold in every profile
+// (reported stale), and the suppression escape hatch.
+//
+// The matching CPU profile is committed next to this file as
+// synth.pprof (see fixtureProfiles in internal/lint/profgate, which
+// regenerates and verifies it); cold.pprof covers only a foreign
+// package and must not count as covering this one.
+package profgate
+
+// Driver owns 40.5% cumulative but only 0.5% flat time: the report
+// belongs to HotLoop below, not to this caller.
+func Driver(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += HotLoop(i)
+	}
+	return total
+}
+
+// HotLoop burns 40% of the profile (some of it inside its closure,
+// which must fold back into this declaration) and no annotated root
+// reaches it.
+func HotLoop(n int) int { // want `hot path not annotated: HotLoop has 40\.0% cumulative \(40\.0% flat\) CPU in profile synth\.pprof`
+	add := func(a, b int) int { return a + b }
+	total := 0
+	for i := 0; i < n; i++ {
+		total = add(total, i*i)
+	}
+	return total
+}
+
+// GuardedKernel is hot and annotated: the gate is already guarding it,
+// so profgate stays quiet.
+//
+//lint:hotpath
+func GuardedKernel(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += guardedHelper(x)
+	}
+	return total
+}
+
+func guardedHelper(x int) int { return x * x }
+
+// ColdRoot is annotated but no committed profile ever samples it or
+// anything it reaches: the annotation is stale and hotalloc effort is
+// pinned to a path that stopped being hot.
+//
+//lint:hotpath
+func ColdRoot(xs []int) int { // want `stale //lint:hotpath root: ColdRoot and everything it reaches stays below 0\.5% cumulative CPU in all 1 profile\(s\)`
+	total := 0
+	for _, x := range xs {
+		total += coldHelper(x)
+	}
+	return total
+}
+
+func coldHelper(x int) int { return x + 1 }
+
+// SuppressedHot is hot and unannotated, but carries a justified
+// suppression: the diagnostic is recorded as suppressed, not reported.
+//
+//lint:allow profgate (interpreter warm-up path; hot only in the synthetic fixture profile)
+func SuppressedHot(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total ^= i << 1
+	}
+	return total
+}

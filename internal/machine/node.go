@@ -306,6 +306,14 @@ func (n *Node) IdleFor(p *sim.Proc, d sim.Duration) {
 // inState runs the process through a timed segment in state s, then
 // returns the node to Idle (unless something else changed the state
 // during the segment, e.g. a concurrent helper process).
+//
+// Every work primitive (Compute, MemoryRounds, CopyBytes, ...) funnels
+// through here, so a campaign crosses it once per work segment — the
+// profgate benchmarks put it at ~26% cumulative CPU. The hotpath root
+// keeps the whole state-accounting subtree (SetState, flushTime,
+// applyPower, RestoreState) allocation-free.
+//
+//lint:hotpath
 func (n *Node) inState(p *sim.Proc, s State, d sim.Duration) {
 	n.SetState(s)
 	token := n.StateToken()

@@ -53,6 +53,11 @@ func (s *Spec) Ranks() int { return 1 }
 
 // Run implements Workload. Iterations interleave the memory and compute
 // phases in slices so DVS transitions take effect at fine granularity.
+// This loop is the body of every synthetic-campaign cell (~27%
+// cumulative CPU in the campaign profile), hence the hotpath root: the
+// per-slice iteration must not allocate.
+//
+//lint:hotpath
 func (s *Spec) Run(ctx Ctx) {
 	const slices = 4
 	for it := 0; it < s.Iterations; it++ {
