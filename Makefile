@@ -28,24 +28,28 @@ test:
 	$(GO) test ./...
 
 # The plain -race sweep already covers everything; the second pass
-# re-runs the parallel drivers alone with -count=2 so the fan-out paths
-# get extra scheduler interleavings under the detector.
+# re-runs the parallel drivers and the sharded-core equality tests
+# alone with -count=2 so the fan-out and cross-shard delivery paths get
+# extra scheduler interleavings under the detector.
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'Parallel|Map' ./internal/exec ./internal/cluster ./internal/campaign
+	$(GO) test -race -count=2 -run 'Parallel|Map|Shard' ./internal/exec ./internal/cluster ./internal/campaign ./internal/sim ./internal/mpi
 
 # Simulator throughput benchmarks, archived as NDJSON (one go test
 # -json event per line): the sim-kernel microbenches (gated — pinned
 # -benchtime, -count 3), the 8-cell campaign matrix at parallelism 1 vs
 # 8 (their ratio is the fan-out speedup on this machine), one end-to-end
-# paper figure, and the repolint self-benchmarks (full module load + all
-# analyzers, plus the flow-sensitive detflow/hotalloc pass alone) so
-# lint wall-time regressions are tracked alongside sim throughput.
+# paper figure, the 256-rank sharded-FT run at 1 vs 4 event-core shards
+# (its speedup metric is the within-run parallelism gain), and the
+# repolint self-benchmarks (full module load + all analyzers, plus the
+# flow-sensitive detflow/hotalloc pass alone) so lint wall-time
+# regressions are tracked alongside sim throughput.
 bench:
 	: > $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime $(GATED_BENCHTIME) -count $(GATED_COUNT) $(GATED_PKG) >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Campaign8' -benchmem ./internal/campaign >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Fig3FTClassB' -benchmem . >> $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench 'ShardedFT' -benchtime 1x -benchmem . >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'RepolintModule|DetflowModule' -benchtime 1x -benchmem ./internal/lint >> $(BENCHOUT)
 	@grep 'ns/op' $(BENCHOUT) | sed 's/.*"Output":"//;s/\\n.*//;s/\\t/  /g' || true
 
@@ -63,8 +67,10 @@ benchdiff: bench $(REPOLINT)
 	$(REPOLINT) benchdiff -band $(BENCHDIFF_BAND) -baseline $(BASELINE) $(BENCHOUT)
 
 # Collect CPU profiles from the benchmark suite for the profgate
-# analyzer: the sim-kernel microbenches, the campaign fan-out, and the
-# end-to-end paper figure. Committed under profiles/ so hot-root
+# analyzer: the sim-kernel microbenches, the campaign fan-out, the
+# end-to-end paper figure, and the 256-rank sharded FT (the
+# communication-heavy profile that keeps the netsim and cross-shard
+# delivery paths hot). Committed under profiles/ so hot-root
 # discovery runs on every `make ci`, not only on machines that just
 # benched. Refresh whenever hot paths move: make bench-profile && make profgate
 bench-profile:
@@ -72,6 +78,7 @@ bench-profile:
 	$(GO) test -run '^$$' -bench . -benchtime $(GATED_BENCHTIME) -cpuprofile $(CURDIR)/$(PROFILES)/sim.pprof -o $(BIN)/sim.test $(GATED_PKG)
 	$(GO) test -run '^$$' -bench 'Campaign8' -cpuprofile $(CURDIR)/$(PROFILES)/campaign.pprof -o $(BIN)/campaign.test ./internal/campaign
 	$(GO) test -run '^$$' -bench 'Fig3FTClassB' -cpuprofile $(CURDIR)/$(PROFILES)/figure.pprof -o $(BIN)/figure.test .
+	$(GO) test -run '^$$' -bench 'ShardedFT' -benchtime 1x -cpuprofile $(CURDIR)/$(PROFILES)/sharded.pprof -o $(BIN)/sharded.test .
 
 # Profile-guided hot-root discovery: join the committed CPU profiles
 # against //lint:hotpath reachability. Reports functions the profiles

@@ -39,10 +39,15 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress on stderr")
 	example := flag.Bool("example", false, "print an example spec and exit")
 	jobs := flag.Int("j", 0, "max concurrent cells; overrides the spec's parallelism (0 = keep spec value, which defaults to one worker per CPU)")
+	shards := flag.Int("shards", 0, "event-core shards per simulation; overrides the spec's shards (0 = keep spec value, 1 = single shard)")
 	flag.Parse()
 
 	if *jobs < 0 {
 		fmt.Fprintln(os.Stderr, "campaign: -j must be non-negative")
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "campaign: -shards must be non-negative")
 		os.Exit(2)
 	}
 
@@ -72,6 +77,9 @@ func main() {
 	}
 	if *jobs > 0 {
 		spec.Parallelism = *jobs
+	}
+	if *shards > 0 {
+		spec.Shards = *shards
 	}
 
 	progress := func(line string) {

@@ -94,6 +94,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload size multiplier")
 	exact := flag.Bool("exact", true, "report exact energy (false = ACPI battery protocol)")
 	jobs := flag.Int("j", 0, "max concurrent repetitions (0 = one worker per CPU, 1 = sequential)")
+	shards := flag.Int("shards", 1, "event-core shards per simulation (parallelism inside one run; results are identical at any value)")
 	traceOut := flag.String("trace", "", "write a per-node power trace CSV to this file")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -142,6 +143,7 @@ func main() {
 	cfg.Settle = 30 * sim.Second
 	cfg.UseTrueEnergy = *exact
 	cfg.Parallelism = *jobs
+	cfg.Shards = *shards
 	if *traceOut != "" {
 		cfg.TraceInterval = 250 * sim.Millisecond
 	}

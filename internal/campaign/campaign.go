@@ -43,6 +43,12 @@ type Spec struct {
 	// concurrently (0 = one worker per CPU, 1 = sequential). Results
 	// are bit-identical at any setting; see cluster.Config.Parallelism.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Shards partitions each simulation's ranks across this many
+	// event-core shards advancing in parallel (0/1 = single shard).
+	// Results are byte-identical at any setting; see
+	// cluster.Config.Shards. Use it for big rank counts, where one
+	// cell dwarfs the cross product.
+	Shards int `json:"shards,omitempty"`
 
 	// Workloads and Strategies form the cross product with PointsMHz.
 	Workloads  []WorkloadSpec `json:"workloads"`
@@ -121,6 +127,9 @@ func (s *Spec) validate() error {
 	}
 	if s.Parallelism < 0 {
 		return fmt.Errorf("campaign: negative parallelism")
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("campaign: negative shard count")
 	}
 	s.built = make([]workloads.Workload, len(s.Workloads))
 	for i := range s.Workloads {
@@ -287,6 +296,7 @@ func (s *Spec) config() cluster.Config {
 		cfg.Seed = s.Seed
 	}
 	cfg.Parallelism = s.Parallelism
+	cfg.Shards = s.Shards
 	cfg.UseTrueEnergy = s.ExactEnergy
 	return cfg
 }

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardSpec is a small matrix over a genuinely multi-rank workload so
+// the sharded event core has rank traffic to partition.
+const shardSpec = `{
+	"name": "shard-equality",
+	"reps": 1,
+	"settle": "30s",
+	"exact_energy": true,
+	"workloads": [{"kind": "ft", "class": "A", "procs": 4, "iters": 1}],
+	"strategies": [{"kind": "static"}, {"kind": "slack"}],
+	"points_mhz": [1400, 800]
+}`
+
+// TestShardedCampaignEquality pins the Shards knob end to end: the same
+// spec at 1 and 2 shards per simulation must produce identical results
+// down to the serialized bytes.
+func TestShardedCampaignEquality(t *testing.T) {
+	run := func(shards int) []Result {
+		t.Helper()
+		s, err := Parse(strings.NewReader(shardSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Parallelism = 1
+		s.Shards = shards
+		results, err := Run(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	seq := run(1)
+	shr := run(2)
+	if !reflect.DeepEqual(seq, shr) {
+		t.Errorf("sharded campaign differs:\nseq %+v\nshr %+v", seq, shr)
+	}
+	var seqJSON, shrJSON strings.Builder
+	if err := WriteJSON(&seqJSON, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&shrJSON, shr); err != nil {
+		t.Fatal(err)
+	}
+	if seqJSON.String() != shrJSON.String() {
+		t.Errorf("sharded campaign JSON differs:\nseq %s\nshr %s", seqJSON.String(), shrJSON.String())
+	}
+}
+
+// TestShardedSpecValidation covers the spec-level Shards guard.
+func TestShardedSpecValidation(t *testing.T) {
+	s := &Spec{
+		Workloads:  []WorkloadSpec{{Kind: "swim"}},
+		Strategies: []StrategySpec{{Kind: "static"}},
+		Shards:     -1,
+	}
+	if _, err := Run(s, nil); err == nil {
+		t.Fatal("negative shards must fail in Run")
+	}
+}

@@ -54,6 +54,16 @@ type Config struct {
 	// MaxSimTime aborts a run that exceeds this much simulated time.
 	MaxSimTime sim.Duration
 
+	// Shards is the number of event-core shards one simulation is
+	// partitioned across: ranks (and their switch ports) split
+	// contiguously over per-shard engines that advance concurrently
+	// inside conservative lookahead windows derived from Net.Latency.
+	// Zero or one runs single-shard; results are byte-identical at any
+	// setting. Orthogonal to Parallelism, which fans out independent
+	// simulations: Shards parallelizes the inside of one big run.
+	// Requires the default single-switch fabric (Fabric == nil).
+	Shards int
+
 	// Reps is how many times each experiment repeats (paper: ≥3).
 	Reps int
 	// Parallelism bounds how many independent simulation cells run
@@ -162,6 +172,12 @@ func (c Config) Validate() error {
 		return errors.New("cluster: negative outlier cutoff")
 	case c.Parallelism < 0:
 		return errors.New("cluster: negative parallelism")
+	case c.Shards < 0:
+		return errors.New("cluster: negative shard count")
+	case c.Shards > 1 && c.Fabric != nil:
+		return errors.New("cluster: sharded runs require the default single-switch fabric")
+	case c.Shards > 1 && c.Net.Latency <= 0:
+		return errors.New("cluster: sharded runs need a positive network latency for lookahead")
 	case c.TraceInterval < 0:
 		return errors.New("cluster: negative trace interval")
 	}
@@ -193,8 +209,29 @@ func (r *Runner) Config() Config { return r.cfg }
 // ErrTimeout reports a run that exceeded MaxSimTime.
 var ErrTimeout = errors.New("cluster: run exceeded MaxSimTime")
 
+// Coordinator-global priorities for same-time determinism (see
+// sim.Group.ScheduleGlobal): every independent source of globals gets
+// its own priority so ties on time still have a total, shard-count-
+// invariant order. trace.GlobalPri and meter.GlobalPri take 1 and 2.
+const (
+	startSnapshotPri = 0
+	// completionPriBase + rank spaces the per-rank completion checks;
+	// two ranks finishing at the same instant schedule distinct keys.
+	completionPriBase = 16
+)
+
 // RunOnce executes a single (workload, strategy, base operating point)
 // run with the given jitter seed and returns its measurements.
+//
+// The simulation is partitioned across max(1, cfg.Shards) event-core
+// shards: rank i (node and switch port alike) lives on shard
+// i*K/nRanks, and the shards advance concurrently in conservative
+// lookahead windows of Net.Latency. All cluster-wide observers — the
+// start snapshot, completion detection, the Baytech strip and the
+// trace recorder — run as coordinator globals at window barriers,
+// where every shard's state is consistent. One shard runs the same
+// windowed protocol inline, so results are byte-identical at any
+// shard count.
 func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, seed int64) (*Result, error) {
 	cfg := r.cfg
 	table := cfg.Machine.Table
@@ -204,29 +241,45 @@ func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, 
 	nRanks := w.Ranks()
 	rng := rand.New(rand.NewSource(seed))
 
-	eng := sim.NewEngine()
-	defer eng.Close()
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nRanks {
+		shards = nRanks
+	}
+	look := cfg.Net.Latency
+	if look <= 0 {
+		// Single shard only (Validate enforces it): the lookahead just
+		// paces windows, so any positive value is correct.
+		look = sim.Microsecond
+	}
+	g := sim.NewGroup(shards, look)
+	defer g.Close()
 
 	nodes := make([]*machine.Node, nRanks)
 	for i := range nodes {
-		nodes[i] = machine.NewNode(eng, i, cfg.Machine)
+		nodes[i] = machine.NewNode(g.Engine(i*shards/nRanks), i, cfg.Machine)
 	}
 	var fab netsim.Fabric
 	if cfg.Fabric != nil {
-		fab = cfg.Fabric(eng, nRanks)
+		fab = cfg.Fabric(g.Engine(0), nRanks)
 	} else {
-		fab = netsim.New(eng, nRanks, cfg.Net)
+		fab = netsim.New(g.Engine(0), nRanks, cfg.Net)
 	}
-	world := mpi.NewWorld(eng, nodes, fab, cfg.MPI)
+	world := mpi.NewWorldOn(g, nodes, fab, cfg.MPI)
 	prof := powerpack.NewProfiler()
 
-	// Completion tracking shared with daemons and meters.
-	finished := 0
+	// Completion tracking shared with daemons and meters. Each rank
+	// fills only its own slot (shard-safe); done flips on the
+	// coordinator goroutine at a window barrier.
+	finished := make([]bool, nRanks)
+	finishAt := make([]sim.Time, nRanks)
 	done := false
 	var endAt sim.Time
 
 	policy := strat.Install(dvs.InstallCtx{
-		Eng:     eng,
+		Eng:     g.Engine(0),
 		Nodes:   nodes,
 		BaseIdx: baseIdx,
 		Done:    func() bool { return done },
@@ -247,14 +300,18 @@ func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, 
 			refresh += sim.Duration(rng.Int63n(int64(refreshSpan)))
 		}
 		batteries[i] = meter.NewACPIBattery(n, capacity, refresh)
-		batteries[i].Spawn(eng, func() bool { return done })
+		// Per-node instrument: polls only its own node, so it lives on
+		// the node's shard.
+		batteries[i].Spawn(n.Engine(), func() bool { return done })
 	}
+	// Cluster-wide instruments read every node, so they sample at
+	// window barriers via coordinator globals.
 	strip := meter.NewBaytechStrip(nodes, cfg.BaytechInterval)
-	strip.Spawn(eng, func() bool { return done })
+	strip.SpawnGroup(g, func() bool { return done })
 	var rec *trace.Recorder
 	if cfg.TraceInterval > 0 {
 		rec = trace.NewRecorder(nodes, cfg.TraceInterval)
-		rec.Spawn(eng, func() bool { return done })
+		rec.SpawnGroup(g, func() bool { return done })
 	}
 
 	// Energy snapshot at the measurement window's start.
@@ -265,7 +322,7 @@ func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, 
 	startIdle := make([]sim.Duration, nRanks)
 	startState := make([]map[machine.State]sim.Duration, nRanks)
 	startTrans := make([]int, nRanks)
-	eng.Schedule(startAt, func() {
+	g.ScheduleGlobal(startAt, startSnapshotPri, func() {
 		for i, n := range nodes {
 			startEnergy[i] = n.EnergyAt(startAt)
 			m := make(map[power.Component]power.Joules)
@@ -289,38 +346,60 @@ func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, 
 	endIdle := make([]sim.Duration, nRanks)
 	endState := make([]map[machine.State]sim.Duration, nRanks)
 	endTrans := make([]int, nRanks)
+	// complete is the idempotent completion check: each finishing rank
+	// schedules it one lookahead after its own finish (the earliest
+	// coordinator slot its slot-write is guaranteed visible at). The
+	// first check that sees every rank finished snapshots the cluster.
+	// All reads back-date to endAt even though the check runs up to one
+	// lookahead later, so the measured window is exactly
+	// [startAt, endAt] no matter the shard count.
+	complete := func() {
+		if done {
+			return
+		}
+		for _, f := range finished {
+			if !f {
+				return
+			}
+		}
+		endAt = finishAt[0]
+		for _, t := range finishAt[1:] {
+			if t > endAt {
+				endAt = t
+			}
+		}
+		for j, n := range nodes {
+			endEnergy[j] = n.EnergyAt(endAt)
+			m := make(map[power.Component]power.Joules)
+			for _, c := range power.Components() {
+				m[c] = n.ComponentEnergyAt(c, endAt)
+			}
+			endComp[j] = m
+			endBusy[j], endIdle[j] = n.UtilizationAt(endAt)
+			st := make(map[machine.State]sim.Duration)
+			for _, s := range machine.States() {
+				st[s] = n.StateTimeAt(s, endAt)
+			}
+			endState[j] = st
+			endTrans[j] = n.TransitionsAt(endAt)
+		}
+		done = true
+	}
 	for i := 0; i < nRanks; i++ {
 		i := i
 		launch := startAt
 		if cfg.StartStagger > 0 {
 			launch = launch.Add(sim.Duration(rng.Int63n(int64(cfg.StartStagger))))
 		}
-		eng.SpawnAt(launch, fmt.Sprintf("app.rank%d", i), func(p *sim.Proc) {
+		nodes[i].Engine().SpawnAt(launch, fmt.Sprintf("app.rank%d", i), func(p *sim.Proc) {
 			w.Run(workloads.Ctx{P: p, Rank: world.Rank(i), Node: nodes[i], PP: ppctxs[i]})
-			finished++
-			if finished == nRanks {
-				endAt = p.Now()
-				for j, n := range nodes {
-					endEnergy[j] = n.EnergyAt(endAt)
-					m := make(map[power.Component]power.Joules)
-					for _, c := range power.Components() {
-						m[c] = n.ComponentEnergyAt(c, endAt)
-					}
-					endComp[j] = m
-					endBusy[j], endIdle[j] = n.Utilization()
-					st := make(map[machine.State]sim.Duration)
-					for _, s := range machine.States() {
-						st[s] = n.StateTime(s)
-					}
-					endState[j] = st
-					endTrans[j] = n.Transitions()
-				}
-				done = true
-			}
+			finishAt[i] = p.Now()
+			finished[i] = true
+			g.ScheduleGlobal(p.Now().Add(g.Lookahead()), completionPriBase+uint64(i), complete)
 		})
 	}
 
-	if _, err := eng.Run(sim.Time(cfg.MaxSimTime)); err != nil {
+	if _, err := g.Run(sim.Time(cfg.MaxSimTime)); err != nil {
 		return nil, fmt.Errorf("cluster: %s/%s@%s: %w", w.Name(), strat.Name(), table.At(baseIdx).Freq, err)
 	}
 	if !done {

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// shardTestConfig returns a full-apparatus config (battery protocol,
+// Baytech strip, power trace) at the given shard count, so the
+// equality tests cover every measurement path that runs on the group
+// coordinator, not just the event core.
+func shardTestConfig(shards int) Config {
+	cfg := DefaultConfig()
+	cfg.Settle = 30 * sim.Second
+	cfg.Reps = 2
+	cfg.Parallelism = 1
+	cfg.Shards = shards
+	cfg.TraceInterval = 250 * sim.Millisecond
+	return cfg
+}
+
+// stripTraces detaches the trace recorders from an aggregate (they hold
+// node/engine pointers that differ between runs) and returns their
+// samples for value comparison.
+func stripTraces(agg *Aggregate) [][]trace.Sample {
+	var samples [][]trace.Sample
+	for i := range agg.Runs {
+		if agg.Runs[i].Trace != nil {
+			samples = append(samples, agg.Runs[i].Trace.Samples())
+			agg.Runs[i].Trace = nil
+		}
+	}
+	return samples
+}
+
+// TestShardedRunByteEquality pins the tentpole guarantee at the cluster
+// layer: a sharded run of a real multi-rank MPI workload — daemons,
+// staggered launches, governor, batteries, Baytech strip, power trace —
+// is byte-identical to the sequential (1-shard) run at every shard
+// count, including shard counts that do not divide the rank count.
+func TestShardedRunByteEquality(t *testing.T) {
+	ft := workloads.NewFT('A', 4)
+	ft.IterOverride = 1
+	seq, err := MustRunner(shardTestConfig(1)).Run(ft, dvs.NewSlack(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSamples := stripTraces(seq)
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		shr, err := MustRunner(shardTestConfig(shards)).Run(ft, dvs.NewSlack(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shrSamples := stripTraces(shr)
+		if !reflect.DeepEqual(shrSamples, seqSamples) {
+			t.Errorf("%d shards: power-trace samples differ from 1 shard", shards)
+		}
+		if !reflect.DeepEqual(shr, seq) {
+			t.Errorf("%d shards: aggregate differs from 1 shard:\nseq %+v\nshr %+v", shards, seq, shr)
+		}
+		shrJSON, err := json.Marshal(shr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(shrJSON) != string(seqJSON) {
+			t.Errorf("%d shards: aggregate JSON differs from 1 shard", shards)
+		}
+	}
+}
+
+// TestShardedSweepStrategies runs the operating-point sweep under the
+// dynamic and adaptive strategies (region-driven DVS transitions, whose
+// per-node policy state is the part that had to become shard-local)
+// across shard counts.
+func TestShardedSweepStrategies(t *testing.T) {
+	ft := workloads.NewFT('A', 4)
+	ft.IterOverride = 1
+	for _, strat := range []dvs.Strategy{dvs.NewDynamic(), dvs.NewAdaptive()} {
+		cfg := shardTestConfig(1)
+		cfg.Reps = 1
+		cfg.TraceInterval = 0
+		cfg.UseTrueEnergy = true
+		seq, err := MustRunner(cfg).Sweep(ft, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Shards = 4
+		shr, err := MustRunner(cfg).Sweep(ft, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(shr, seq) {
+			t.Errorf("%s: sharded sweep differs from sequential", strat.Name())
+		}
+	}
+}
+
+// TestShardedValidation covers the Shards knob's constraints.
+func TestShardedValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = -1
+	if _, err := NewRunner(cfg); err == nil {
+		t.Fatal("negative shards must be rejected")
+	}
+	cfg.Shards = 2
+	cfg.Fabric = func(eng *sim.Engine, ports int) netsim.Fabric {
+		return netsim.NewTree(eng, ports, netsim.TreeConfig{
+			Host:                       netsim.Default100Mb(),
+			PortsPerEdge:               2,
+			UplinkBandwidthBytesPerSec: 100e6 / 8,
+			CoreLatency:                20 * sim.Microsecond,
+		})
+	}
+	if _, err := NewRunner(cfg); err == nil {
+		t.Fatal("sharded runs with a custom fabric must be rejected")
+	}
+}

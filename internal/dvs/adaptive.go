@@ -39,12 +39,6 @@ func NewAdaptive() *Adaptive {
 // Name implements Strategy.
 func (*Adaptive) Name() string { return "adaptive" }
 
-// regionKey identifies a (node, region) learning cell.
-type regionKey struct {
-	node   int
-	region string
-}
-
 type regionState struct {
 	// nextProbe is the operating-point index to sample next; once it
 	// passes the table, the cell is converged.
@@ -62,41 +56,57 @@ type regionState struct {
 	entryIdx    int
 }
 
+// nodeCells is one node's learning state. Each node's struct is only
+// touched by processes running on that node, so ranks on different
+// event-core shards never share a cell map and no locking is needed.
+type nodeCells struct {
+	depth int
+	cells map[string]*regionState
+}
+
 type adaptivePolicy struct {
 	a       *Adaptive
 	baseIdx int
-	cells   map[regionKey]*regionState
-	depth   map[int]int
+	// nodes is indexed by node ID; the slice itself is built at Install
+	// and read-only thereafter.
+	nodes []*nodeCells
 }
 
 // Install implements Strategy.
 func (a *Adaptive) Install(ctx InstallCtx) powerpack.RegionPolicy {
+	maxID := -1
 	for _, n := range ctx.Nodes {
 		mustSetOPAsync(n, ctx.BaseIdx)
+		if n.ID() > maxID {
+			maxID = n.ID()
+		}
 	}
-	return &adaptivePolicy{
+	ap := &adaptivePolicy{
 		a:       a,
 		baseIdx: ctx.BaseIdx,
-		cells:   make(map[regionKey]*regionState),
-		depth:   make(map[int]int),
+		nodes:   make([]*nodeCells, maxID+1),
 	}
+	for _, n := range ctx.Nodes {
+		ap.nodes[n.ID()] = &nodeCells{cells: make(map[string]*regionState)}
+	}
+	return ap
 }
 
 // OnEnter implements powerpack.RegionPolicy.
 func (ap *adaptivePolicy) OnEnter(p *sim.Proc, n *machine.Node, region string) {
-	ap.depth[n.ID()]++
-	if ap.depth[n.ID()] != 1 {
+	nc := ap.nodes[n.ID()]
+	nc.depth++
+	if nc.depth != 1 {
 		return // only the outermost region is steered
 	}
-	key := regionKey{node: n.ID(), region: region}
-	st := ap.cells[key]
+	st := nc.cells[region]
 	if st == nil {
 		table := n.Params().Table
 		st = &regionState{
 			samples: make([]core.Point, table.Len()),
 			chosen:  -1,
 		}
-		ap.cells[key] = st
+		nc.cells[region] = st
 	}
 	if st.skip {
 		return
@@ -115,15 +125,15 @@ func (ap *adaptivePolicy) OnEnter(p *sim.Proc, n *machine.Node, region string) {
 
 // OnExit implements powerpack.RegionPolicy.
 func (ap *adaptivePolicy) OnExit(p *sim.Proc, n *machine.Node, region string) {
-	if ap.depth[n.ID()] == 0 {
+	nc := ap.nodes[n.ID()]
+	if nc.depth == 0 {
 		panic("dvs: adaptive region exit without enter") //lint:allow panicfree (region-nesting invariant; unbalanced Enter/Exit is a workload bug)
 	}
-	ap.depth[n.ID()]--
-	if ap.depth[n.ID()] != 0 {
+	nc.depth--
+	if nc.depth != 0 {
 		return
 	}
-	key := regionKey{node: n.ID(), region: region}
-	st := ap.cells[key]
+	st := nc.cells[region]
 	if st == nil || st.skip {
 		return
 	}
@@ -168,7 +178,10 @@ func (ap *adaptivePolicy) converge(samples []core.Point) int {
 // region, or -1 while it is still probing (or skipped). Exposed for
 // tests and analysis tools.
 func (ap *adaptivePolicy) Chosen(node int, region string) int {
-	st := ap.cells[regionKey{node: node, region: region}]
+	if node < 0 || node >= len(ap.nodes) || ap.nodes[node] == nil {
+		return -1
+	}
+	st := ap.nodes[node].cells[region]
 	if st == nil || st.chosen < 0 || st.skip {
 		return -1
 	}

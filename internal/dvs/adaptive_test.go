@@ -83,7 +83,7 @@ func TestAdaptiveProbesEachPointOnce(t *testing.T) {
 	if got := pol.Chosen(0, "r"); got < 0 {
 		t.Fatal("should have converged after probing all points")
 	}
-	st := pol.cells[regionKey{node: 0, region: "r"}]
+	st := pol.nodes[0].cells["r"]
 	for i, s := range st.samples {
 		if s.Energy <= 0 || s.Delay <= 0 {
 			t.Fatalf("point %d never sampled: %+v", i, s)
@@ -99,7 +99,7 @@ func TestAdaptiveBeatsNothingOnMixedWorkload(t *testing.T) {
 		n.MemoryRounds(p, 500_000)
 		n.Compute(p, 5e6)
 	})
-	st := pol.cells[regionKey{node: 0, region: "r"}]
+	st := pol.nodes[0].cells["r"]
 	if st.chosen < 0 {
 		t.Fatal("not converged")
 	}

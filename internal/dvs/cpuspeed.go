@@ -50,7 +50,9 @@ func (c *Cpuspeed) Install(ctx InstallCtx) powerpack.RegionPolicy {
 	}
 	for _, n := range ctx.Nodes {
 		n := n
-		ctx.Eng.Spawn(fmt.Sprintf("cpuspeed%d", n.ID()), func(p *sim.Proc) {
+		// Spawn on the node's own engine so the daemon lives on the
+		// node's event-core shard in sharded runs.
+		n.Engine().Spawn(fmt.Sprintf("cpuspeed%d", n.ID()), func(p *sim.Proc) {
 			c.daemon(p, n, ctx.Done)
 		})
 	}

@@ -100,7 +100,11 @@ type dynamicPolicy struct {
 	d       *Dynamic
 	baseIdx int
 	target  int
-	depth   map[int]int // per node: nesting depth of acted-on regions
+	// depth[node] is the nesting depth of acted-on regions. A slice
+	// indexed by node ID rather than a map: each slot is written only by
+	// the process running on that node, so ranks on different event-core
+	// shards never touch the same element and no locking is needed.
+	depth []int
 }
 
 // Install implements Strategy.
@@ -115,7 +119,18 @@ func (d *Dynamic) Install(ctx InstallCtx) powerpack.RegionPolicy {
 		}
 		target = ctx.Nodes[0].Params().Table.Len() - 1
 	}
-	return &dynamicPolicy{d: d, baseIdx: ctx.BaseIdx, target: target, depth: make(map[int]int)}
+	return &dynamicPolicy{d: d, baseIdx: ctx.BaseIdx, target: target, depth: perNodeSlots(ctx.Nodes)}
+}
+
+// perNodeSlots sizes a node-ID-indexed slice for a node set.
+func perNodeSlots(nodes []*machine.Node) []int {
+	maxID := -1
+	for _, n := range nodes {
+		if n.ID() > maxID {
+			maxID = n.ID()
+		}
+	}
+	return make([]int, maxID+1)
 }
 
 func (dp *dynamicPolicy) applies(region string) bool {

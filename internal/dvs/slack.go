@@ -52,7 +52,9 @@ func (g *Slack) Install(ctx InstallCtx) powerpack.RegionPolicy {
 	for _, n := range ctx.Nodes {
 		n := n
 		mustSetOPAsync(n, ctx.BaseIdx)
-		ctx.Eng.Spawn(fmt.Sprintf("slack%d", n.ID()), func(p *sim.Proc) {
+		// Spawn on the node's own engine so the daemon lives on the
+		// node's event-core shard in sharded runs.
+		n.Engine().Spawn(fmt.Sprintf("slack%d", n.ID()), func(p *sim.Proc) {
 			g.daemon(p, n, ctx.BaseIdx, ctx.Done)
 		})
 	}

@@ -245,6 +245,12 @@ func (n *Node) coreDuration(cycles float64) sim.Duration {
 
 // Compute runs cycles of core-clocked work: the node is in the Compute
 // state for cycles/f (plus the stall penalty) and then returns to Idle.
+// Every MPI overhead charge and most workload inner loops funnel
+// through here (the end-to-end figure profile puts it near 10%
+// cumulative), so it is a hotpath root of its own: the whole
+// duration-conversion + inState subtree must stay allocation-free.
+//
+//lint:hotpath
 func (n *Node) Compute(p *sim.Proc, cycles float64) {
 	n.inState(p, Compute, n.coreDuration(cycles))
 }
@@ -258,6 +264,11 @@ func (n *Node) ComputeFlops(p *sim.Proc, flops float64) {
 // MemoryRounds performs accesses DRAM round trips: each pays the fixed
 // DRAM latency plus a small core-clocked overhead, so the total time is
 // only weakly frequency dependent — the slack DVS exploits (Fig. 6).
+// The synthetic-campaign inner loops funnel through here (~16%
+// cumulative in the campaign profile), so like Compute it is its own
+// hotpath root.
+//
+//lint:hotpath
 func (n *Node) MemoryRounds(p *sim.Proc, accesses int64) {
 	if accesses <= 0 {
 		return
@@ -415,6 +426,47 @@ func (n *Node) StateTime(s State) sim.Duration {
 		t += n.eng.Now().Sub(n.lastFlush)
 	}
 	return t
+}
+
+// UtilizationAt is Utilization evaluated at a (recent) past instant t:
+// the counters are extrapolated through t instead of the engine clock.
+// Like power.Integrator.EnergyAt, the answer clamps at the last state
+// change, so it is exact whenever the node's state has not changed
+// since t — the case that matters for back-dated end-of-run snapshots
+// taken a lookahead window after the fact.
+func (n *Node) UtilizationAt(t sim.Time) (busy, idle sim.Duration) {
+	d := t.Sub(n.lastFlush)
+	busy, idle = n.busy, n.idle
+	if d > 0 {
+		if n.state.countsBusy() {
+			busy += d
+		} else {
+			idle += d
+		}
+	}
+	return busy, idle
+}
+
+// StateTimeAt is StateTime evaluated at a (recent) past instant t,
+// with the same clamping rule as UtilizationAt.
+func (n *Node) StateTimeAt(s State, t sim.Time) sim.Duration {
+	d := n.stateTime[s]
+	if n.state == s {
+		if extra := t.Sub(n.lastFlush); extra > 0 {
+			d += extra
+		}
+	}
+	return d
+}
+
+// TransitionsAt reports how many DVS switches the node had performed
+// through time t.
+func (n *Node) TransitionsAt(t sim.Time) int {
+	c := len(n.freqLog)
+	for c > 0 && n.freqLog[c-1].At > t {
+		c--
+	}
+	return c
 }
 
 // EnergyAt returns the node's total energy consumed through time t,

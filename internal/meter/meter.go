@@ -175,6 +175,43 @@ func (s *BaytechStrip) Spawn(eng *sim.Engine, done func() bool) {
 	})
 }
 
+// GlobalPri is the coordinator-global priority the strip's polls use;
+// it must not collide with any other same-time global source (see
+// sim.Group.ScheduleGlobal).
+const GlobalPri = 2
+
+// SpawnGroup starts the polling process on a sharded group. Each poll
+// runs as a coordinator global at a window barrier, where every
+// shard's node energy integrator is safely visible; poll times and
+// record order match Spawn. The first tick only baselines the energy
+// counters, mirroring Spawn's pre-loop read.
+func (s *BaytechStrip) SpawnGroup(g *sim.Group, done func() bool) {
+	start := g.Now()
+	g.ScheduleGlobal(start, GlobalPri, func() {
+		for i, n := range s.nodes {
+			s.lastE[i] = n.EnergyAt(start)
+		}
+		s.tick(g, start.Add(s.interval), done)
+	})
+}
+
+// tick schedules one poll at time at, which records every outlet and
+// re-arms itself unless done.
+func (s *BaytechStrip) tick(g *sim.Group, at sim.Time, done func() bool) {
+	g.ScheduleGlobal(at, GlobalPri, func() {
+		for i, n := range s.nodes {
+			e := n.EnergyAt(at)
+			avg := power.Watts(float64(e-s.lastE[i]) / s.interval.Seconds())
+			s.lastE[i] = e
+			s.records = append(s.records, OutletRecord{At: at, Outlet: i, AvgW: avg})
+		}
+		if done != nil && done() {
+			return
+		}
+		s.tick(g, at.Add(s.interval), done)
+	})
+}
+
 // Records returns all outlet polls so far.
 func (s *BaytechStrip) Records() []OutletRecord {
 	out := make([]OutletRecord, len(s.records))

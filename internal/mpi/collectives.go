@@ -2,8 +2,9 @@ package mpi
 
 // Collective operations, implemented over the point-to-point layer with
 // the classic MPICH algorithms: dissemination barrier, binomial
-// broadcast and reduction, pairwise-exchange all-to-all, and linear
-// gather/scatter rooted at a single process.
+// broadcast, reduction, gather and scatter, pairwise-exchange
+// all-to-all, and a recursive-doubling Allreduce selected above a size
+// threshold (below it, reduce+bcast matches MPICH-1's default).
 //
 // Each algorithm is written once against a group view — a rank's
 // position within an ordered set of world ranks plus a private tag
@@ -198,55 +199,168 @@ func alltoallV(v view, sizes func(pos int) int64) {
 	}
 }
 
-// gatherV: linear gather to root, group-position order.
+// gatherV: binomial-tree gather to root. Each subtree leader bundles
+// its subtree's payloads and forwards them upward in one message, so
+// the root completes ceil(log2 P) receives instead of P-1 — at 4096
+// ranks the per-message matching and overhead no longer serialize at
+// one process. Relative to root, rank rel's subtree spans positions
+// [rel, rel+lowbit(rel)), and children report in ascending span order,
+// so bundles concatenate contiguously.
 func gatherV(v view, root int, sizes func(pos int) int64, payload any) []any {
 	v.begin()
 	v.checkPos(root)
 	n := v.size
 	tag := v.tag(0)
-	if v.me != root {
-		v.send(root, tag, sizes(v.me), payload)
-		return nil
-	}
-	out := make([]any, n)
-	out[v.me] = payload
-	for i := 0; i < n; i++ {
-		if i == root {
+	rel := (v.me - root + n) % n
+
+	bundle := []any{payload} // bundle[i] is position (rel+i+root)%n's payload
+	bytes := sizes(v.me)
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			// Subtree complete: hand the bundle to the parent.
+			parent := (rel&^mask + root) % n
+			v.send(parent, tag, bytes, bundle)
+			return nil
+		}
+		childRel := rel | mask
+		if childRel >= n {
 			continue
 		}
-		m := v.recv(i, tag)
-		out[i] = m.Payload
+		m := v.recv((childRel+root)%n, tag)
+		bundle = append(bundle, m.Payload.([]any)...)
+		bytes += m.Size
+	}
+	// Only the root (rel 0) clears every mask.
+	out := make([]any, n)
+	for i, pl := range bundle {
+		out[(root+i)%n] = pl
 	}
 	return out
 }
 
-// scatterV: linear scatter from root.
+// scatterV: binomial-tree scatter from root — gatherV's mirror. Each
+// parent forwards a child's whole subtree bundle in one message,
+// largest subtree first, so the root completes ceil(log2 P) sends
+// instead of P-1.
 func scatterV(v view, root int, sizes func(pos int) int64, payloads []any) any {
 	v.begin()
 	v.checkPos(root)
 	n := v.size
 	tag := v.tag(0)
+	rel := (v.me - root + n) % n
+
+	var bundle []any // this rank's subtree payloads; bundle[0] is its own
+	span := 0        // subtree width in positions (power of two, may overhang n)
 	if v.me == root {
 		if payloads != nil && len(payloads) != n {
 			panic("mpi: scatter payloads length mismatch") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 		}
-		for i := 0; i < n; i++ {
-			if i == root {
-				continue
-			}
-			var pl any
+		for span = 1; span < n; span <<= 1 {
+		}
+		bundle = make([]any, n)
+		for i := range bundle {
 			if payloads != nil {
-				pl = payloads[i]
+				bundle[i] = payloads[(root+i)%n]
 			}
-			v.send(i, tag, sizes(i), pl)
 		}
-		if payloads != nil {
-			return payloads[root]
+	} else {
+		for span = 1; rel&span == 0; span <<= 1 {
 		}
-		return nil
+		parent := (rel&^span + root) % n
+		m := v.recv(parent, tag)
+		bundle = m.Payload.([]any)
 	}
-	m := v.recv(root, tag)
-	return m.Payload
+	for mask := span >> 1; mask >= 1; mask >>= 1 {
+		childRel := rel + mask
+		if childRel >= n {
+			continue
+		}
+		hi := childRel + mask
+		if hi > n {
+			hi = n
+		}
+		var bytes int64
+		for q := childRel; q < hi; q++ {
+			bytes += sizes((q + root) % n)
+		}
+		v.send((childRel+root)%n, tag, bytes, bundle[mask:hi-rel])
+	}
+	return bundle[0]
+}
+
+// allreduceRD: recursive-doubling allreduce — the large-message path.
+// Non-power-of-two counts fold the first 2*rem ranks into rem pairs,
+// run log2(pof2) simultaneous-exchange rounds over the survivors, and
+// unfold at the end. Every pairwise combine brackets the lower group
+// position as the left operand, so all ranks apply the identical
+// association and finish with byte-identical values even for
+// non-commutative (e.g. floating-point) combine functions.
+func allreduceRD(v view, size int64, payload any, combine func(a, b any) any) any {
+	v.begin()
+	n := v.size
+	if n == 1 {
+		return payload
+	}
+	acc := payload
+	merge := func(peer int, other any) {
+		v.r.node.ComputeFlops(v.p, float64(size)*v.r.w.cfg.ReduceFlopsPerByte)
+		if combine == nil {
+			return
+		}
+		if peer < v.me {
+			acc = combine(other, acc)
+		} else {
+			acc = combine(acc, other)
+		}
+	}
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+
+	// Fold phase: evens below 2*rem hand their contribution to the odd
+	// neighbour and sit out the doubling.
+	newpos := -1
+	switch {
+	case v.me < 2*rem && v.me%2 == 0:
+		v.send(v.me+1, v.tag(0), size, acc)
+	case v.me < 2*rem:
+		m := v.recv(v.me-1, v.tag(0))
+		merge(v.me-1, m.Payload)
+		newpos = v.me / 2
+	default:
+		newpos = v.me - rem
+	}
+
+	if newpos >= 0 {
+		phase := 1
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peerNew := newpos ^ mask
+			peer := peerNew + rem
+			if peerNew < rem {
+				peer = peerNew*2 + 1
+			}
+			tag := v.tag(phase)
+			sq := v.isend(peer, tag, size, acc)
+			m := v.recv(peer, tag)
+			v.wait(sq)
+			merge(peer, m.Payload)
+			phase++
+		}
+	}
+
+	// Unfold phase: the odds hand the full result back to their evens.
+	// Phase 62 keeps the tag clear of the doubling rounds at any scale.
+	if v.me < 2*rem {
+		if v.me%2 == 0 {
+			m := v.recv(v.me+1, v.tag(62))
+			acc = m.Payload
+		} else {
+			v.send(v.me-1, v.tag(62), size, acc)
+		}
+	}
+	return acc
 }
 
 // allgatherV: ring, P-1 steps.
@@ -281,8 +395,15 @@ func (r *Rank) Reduce(p *sim.Proc, root int, size int64, payload any, combine fu
 	return reduceV(r.worldView(p), root, size, payload, combine)
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast, MPICH-1 style.
+// Allreduce combines size bytes across all ranks and leaves the result
+// everywhere. Below the configured large-message threshold it is
+// Reduce to rank 0 followed by Bcast, MPICH-1 style; at or above it,
+// recursive doubling spreads the bandwidth over every link instead of
+// concentrating it at rank 0.
 func (r *Rank) Allreduce(p *sim.Proc, size int64, payload any, combine func(a, b any) any) any {
+	if thr := r.w.cfg.AllreduceLargeThreshold; thr > 0 && size >= thr {
+		return allreduceRD(r.worldView(p), size, payload, combine)
+	}
 	acc := r.Reduce(p, 0, size, payload, combine)
 	return r.Bcast(p, 0, size, acc)
 }

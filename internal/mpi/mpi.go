@@ -53,6 +53,13 @@ type Config struct {
 	// ReduceFlopsPerByte converts reduction payload bytes into
 	// combine work (1 flop per 8-byte element by default).
 	ReduceFlopsPerByte float64
+	// AllreduceLargeThreshold is the payload size (bytes) at or above
+	// which Allreduce switches from reduce+bcast (two binomial trees
+	// rooted at rank 0 — fine for latency-bound sizes, but the root's
+	// links carry every byte twice) to recursive doubling, whose
+	// bandwidth load is spread across all links, MPICH-style. Zero or
+	// negative disables the large path.
+	AllreduceLargeThreshold int64
 }
 
 // DefaultConfig returns the calibrated MPICH-1.2.5-over-TCP cost model.
@@ -64,25 +71,74 @@ func DefaultConfig() Config {
 		RecvOverheadCycles: 25_000,
 		PerByteCycles:      3.3,
 		PerByteCyclesEager: 1.8,
-		ControlBytes:       64,
-		ReduceFlopsPerByte: 0.125,
+		ControlBytes:            64,
+		ReduceFlopsPerByte:      0.125,
+		AllreduceLargeThreshold: 64 << 10,
 	}
 }
 
-// World is a communicator spanning one rank per node.
+// World is a communicator spanning one rank per node. Each rank lives
+// on its node's engine; when the nodes are partitioned across the
+// shards of a sim.Group, cross-shard deliveries travel through the
+// group's inboxes with a shard-count-invariant (source, sequence)
+// arrival key, so a sharded run is byte-identical to a sequential one.
 type World struct {
-	eng   *sim.Engine
+	group *sim.Group // nil when every rank shares one engine
 	sw    netsim.Fabric
 	cfg   Config
 	ranks []*Rank
-	nic   []int // active-transfer refcount per node
+	nic   []int    // active-transfer refcount per node
+	xseq  []uint64 // per-source-rank arrival sequence (claimed on the source shard)
+	shard []int    // rank -> shard index; nil when group is nil
 
 	nextCommSlot int // next sub-communicator tag-space slot (1-based)
 }
 
-// NewWorld builds a world with one rank bound to each node. The fabric
-// must have at least as many ports as nodes (rank i uses port i).
+// NewWorld builds a world with one rank bound to each node, all of them
+// on the single engine eng. The fabric must have at least as many ports
+// as nodes (rank i uses port i).
 func NewWorld(eng *sim.Engine, nodes []*machine.Node, sw netsim.Fabric, cfg Config) *World {
+	for _, n := range nodes {
+		if n.Engine() != eng {
+			panic("mpi: node not on the world's engine") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
+		}
+	}
+	return newWorld(nil, nil, nodes, sw, cfg)
+}
+
+// NewWorldOn builds a world whose nodes are partitioned across the
+// shards of g: rank i runs on nodes[i].Engine(), which must be one of
+// the group's shard engines. Message delivery between ranks on
+// different shards is routed through the group; the fabric's MinLatency
+// must be at least the group's lookahead for the conservative window to
+// be sound.
+func NewWorldOn(g *sim.Group, nodes []*machine.Node, sw netsim.Fabric, cfg Config) *World {
+	if g == nil {
+		panic("mpi: NewWorldOn needs a group") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
+	}
+	if g.Size() > 1 && sw.MinLatency() < g.Lookahead() {
+		// A single-shard group never crosses a shard boundary, so the
+		// lookahead only paces windows and any fabric is safe.
+		panic("mpi: fabric minimum latency below group lookahead") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
+	}
+	shard := make([]int, len(nodes))
+	for i, n := range nodes {
+		s := -1
+		for j := 0; j < g.Size(); j++ {
+			if g.Engine(j) == n.Engine() {
+				s = j
+				break
+			}
+		}
+		if s < 0 {
+			panic(fmt.Sprintf("mpi: node %d not on a group shard", i)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
+		}
+		shard[i] = s
+	}
+	return newWorld(g, shard, nodes, sw, cfg)
+}
+
+func newWorld(g *sim.Group, shard []int, nodes []*machine.Node, sw netsim.Fabric, cfg Config) *World {
 	if len(nodes) == 0 {
 		panic("mpi: empty world") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
@@ -90,10 +146,12 @@ func NewWorld(eng *sim.Engine, nodes []*machine.Node, sw netsim.Fabric, cfg Conf
 		panic(fmt.Sprintf("mpi: %d nodes but only %d switch ports", len(nodes), sw.Ports())) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 	}
 	w := &World{
-		eng:          eng,
+		group:        g,
 		sw:           sw,
 		cfg:          cfg,
 		nic:          make([]int, len(nodes)),
+		xseq:         make([]uint64, len(nodes)),
+		shard:        shard,
 		nextCommSlot: 1,
 	}
 	for i, n := range nodes {
@@ -102,7 +160,7 @@ func NewWorld(eng *sim.Engine, nodes []*machine.Node, sw netsim.Fabric, cfg Conf
 			id:         i,
 			node:       n,
 			rendezvous: make(map[int64]*sim.Cond),
-			dataWait:   make(map[int64]*sim.Cond),
+			dataWait:   make(map[rdKey]*sim.Cond),
 			sendSeq:    make(map[int]int64),
 			expectSeq:  make(map[int]int64),
 			stashed:    make(map[int]map[int64]*Message),
@@ -120,31 +178,49 @@ func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 // Config returns the library cost model.
 func (w *World) Config() Config { return w.cfg }
 
-// SpawnRanks starts body as the main program of every rank, SPMD-style,
-// and returns the spawned processes.
+// SpawnRanks starts body as the main program of every rank, SPMD-style
+// on each rank's own engine, and returns the spawned processes.
 func (w *World) SpawnRanks(body func(p *sim.Proc, r *Rank)) []*sim.Proc {
 	procs := make([]*sim.Proc, len(w.ranks))
 	for i, r := range w.ranks {
 		r := r
-		procs[i] = w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		procs[i] = r.eng().Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			body(p, r)
 		})
 	}
 	return procs
 }
 
-// nicWindow marks node's NIC active over [from, to] (refcounted, since
-// transfer windows from different messages overlap).
-func (w *World) nicWindow(node int, from, to sim.Time) {
+// post schedules fn at absolute time t in rank dst's engine, ordered by
+// the shard-count-invariant (src, sequence) arrival key. Same-shard
+// deliveries enqueue directly; cross-shard deliveries park in the
+// group's inbox until the next window barrier. Both paths use the same
+// key, so the heap order — and therefore the simulation — is identical
+// at any shard count.
+func (w *World) post(src, dst int, t sim.Time, fn func()) {
+	w.xseq[src]++
+	if w.group != nil && w.shard[src] != w.shard[dst] {
+		w.group.Post(w.shard[dst], t, src, w.xseq[src], fn)
+		return
+	}
+	w.ranks[dst].eng().PostArrival(t, src, w.xseq[src], fn)
+}
+
+// nicOn marks node's NIC active over [from, to] (refcounted, since
+// transfer windows from different messages overlap). It must be called
+// from the node's own shard: the sender marks its side at Send time,
+// the receiver marks its side when the arrival fires.
+func (w *World) nicOn(node int, from, to sim.Time) {
 	if to <= from {
 		return
 	}
 	n := w.ranks[node].node
-	w.eng.Schedule(from, func() {
+	eng := n.Engine()
+	eng.Schedule(from, func() {
 		w.nic[node]++
 		n.SetNICActive(true)
 	})
-	w.eng.Schedule(to, func() {
+	eng.Schedule(to, func() {
 		w.nic[node]--
 		if w.nic[node] == 0 {
 			n.SetNICActive(false)
@@ -173,6 +249,15 @@ const (
 	kindRData         // rendezvous payload
 )
 
+// rdKey identifies an in-flight rendezvous transfer on the receiver.
+// Handles are allocated from the sender's counter, so they are only
+// unique per source rank — concurrent transfers from different senders
+// can share a handle number and must not collide in dataWait.
+type rdKey struct {
+	src    int
+	handle int64
+}
+
 // Stats aggregates a rank's traffic counters.
 type Stats struct {
 	MsgsSent  int64
@@ -192,7 +277,7 @@ type Rank struct {
 
 	nextHandle int64
 	rendezvous map[int64]*sim.Cond // sender side: waiting for CTS
-	dataWait   map[int64]*sim.Cond // receiver side: waiting for payload
+	dataWait   map[rdKey]*sim.Cond // receiver side: waiting for payload
 
 	// Non-overtaking machinery (MPI ordering semantics): envelopes from
 	// one sender carry a sequence number; a receiver only admits them
@@ -212,6 +297,10 @@ type postedRecv struct {
 	src, tag int
 	cond     *sim.Cond
 }
+
+// eng returns the engine this rank (and all its helper processes and
+// delivery events) runs on: its node's.
+func (r *Rank) eng() *sim.Engine { return r.node.Engine() }
 
 // ID returns the rank number.
 func (r *Rank) ID() int { return r.id }
@@ -244,6 +333,8 @@ func matches(src, tag int, m *Message) bool {
 }
 
 // deliver runs at the message's arrival time on the receiving rank.
+//
+//lint:allow profgate (per-message protocol bookkeeping — stash maps, queue appends, cond signals — allocates a bounded handful of objects by design; the zero-alloc discipline lives in the event core below)
 func (r *Rank) deliver(m *Message) {
 	switch m.kind {
 	case kindEager, kindRTS:
@@ -277,11 +368,12 @@ func (r *Rank) deliver(m *Message) {
 		delete(r.rendezvous, m.handle)
 		c.Signal(m)
 	case kindRData:
-		c, ok := r.dataWait[m.handle]
+		k := rdKey{src: m.Src, handle: m.handle}
+		c, ok := r.dataWait[k]
 		if !ok {
-			panic(fmt.Sprintf("mpi: rank %d: data for unknown handle %d", r.id, m.handle)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
+			panic(fmt.Sprintf("mpi: rank %d: data from rank %d for unknown handle %d", r.id, m.Src, m.handle)) //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)
 		}
-		delete(r.dataWait, m.handle)
+		delete(r.dataWait, k)
 		c.Signal(m)
 	}
 }
@@ -298,29 +390,40 @@ func (r *Rank) admit(m *Message) {
 	r.unexpected = append(r.unexpected, m)
 }
 
-// transmit books wire bytes on the network for m and schedules its
-// delivery; it returns the delivery time. wire differs from m.Size for
-// rendezvous control messages, whose envelope describes a large payload
-// but whose own footprint is a small header. Control messages are too
-// small to bother marking NIC activity.
+// transmit books the transmit side of m on the network from sender
+// context and posts its arrival to the receiving rank's shard; the
+// arrival handler books the receive side (fan-in contention resolves in
+// deterministic arrival order) and schedules delivery. It returns when
+// the last byte leaves the sender — the only instant the sender can
+// know without reading receiver state across the shard boundary. wire
+// differs from m.Size for rendezvous control messages, whose envelope
+// describes a large payload but whose own footprint is a small header.
+// Control messages are too small to bother marking NIC activity.
 func (r *Rank) transmit(m *Message, wire int64, markNIC bool) sim.Time {
-	start, deliverAt := r.w.sw.Transfer(m.Src, m.Dst, wire)
+	w := r.w
+	start, arrive := w.sw.Send(m.Src, m.Dst, wire, r.eng().Now())
+	ser := w.sw.SerializationTime(wire)
 	if markNIC {
-		ser := r.w.sw.SerializationTime(wire)
-		r.w.nicWindow(m.Src, start, start.Add(ser))
-		r.w.nicWindow(m.Dst, deliverAt-sim.Time(ser), deliverAt)
+		w.nicOn(m.Src, start, start.Add(ser))
 	}
-	dst := r.w.ranks[m.Dst]
-	r.w.eng.Schedule(deliverAt, func() { dst.deliver(m) })
-	return deliverAt
+	dst := w.ranks[m.Dst]
+	w.post(m.Src, m.Dst, arrive, func() {
+		deliver := w.sw.Accept(m.Src, m.Dst, wire, arrive)
+		if markNIC {
+			w.nicOn(m.Dst, deliver-sim.Time(ser), deliver)
+		}
+		dst.eng().Schedule(deliver, func() { dst.deliver(m) })
+	})
+	return start.Add(ser)
 }
 
 // transmitControl sends a protocol control message on the priority path
-// (no link occupancy) and schedules its delivery.
+// (no link occupancy) and posts its delivery to the receiver's shard.
 func (r *Rank) transmitControl(m *Message) sim.Time {
-	deliverAt := r.w.sw.Control(m.Src, m.Dst, r.w.cfg.ControlBytes)
-	dst := r.w.ranks[m.Dst]
-	r.w.eng.Schedule(deliverAt, func() { dst.deliver(m) })
+	w := r.w
+	deliverAt := w.sw.Control(m.Src, m.Dst, w.cfg.ControlBytes, r.eng().Now())
+	dst := w.ranks[m.Dst]
+	w.post(m.Src, m.Dst, deliverAt, func() { dst.deliver(m) })
 	return deliverAt
 }
 
@@ -332,7 +435,7 @@ func (r *Rank) waitOn(p *sim.Proc, c *sim.Cond) any {
 	n.SetState(machine.Spin)
 	if thr := r.w.cfg.SpinThreshold; thr >= 0 {
 		token := n.StateToken()
-		r.w.eng.After(thr, func() {
+		r.eng().After(thr, func() {
 			// Still in the same uninterrupted spin: fall back to a
 			// blocking kernel wait (idle in /proc/stat).
 			n.RestoreState(token, machine.Blocked)

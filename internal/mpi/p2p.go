@@ -64,18 +64,19 @@ func (r *Rank) sendSeqed(p *sim.Proc, seq int64, dst, tag int, size int64, paylo
 	// Rendezvous: RTS → wait for CTS → stream payload → wait for drain.
 	r.nextHandle++
 	h := r.nextHandle
-	cts := sim.NewCond(r.w.eng)
+	cts := sim.NewCond(r.eng())
 	r.rendezvous[h] = cts
 	rts := &Message{Src: r.id, Dst: dst, Tag: tag, Size: size, kind: kindRTS, handle: h, seq: seq}
 	r.transmitControl(rts)
 	r.waitOn(p, cts)
 
 	data := &Message{Src: r.id, Dst: dst, Tag: tag, Size: size, Payload: payload, kind: kindRData, handle: h}
-	deliverAt := r.transmit(data, size, true)
+	txDone := r.transmit(data, size, true)
 	// The sender's progress engine actively pushes the payload through
-	// the socket until the last byte leaves; it polls (and eventually
-	// blocks) exactly like a receive-side wait.
-	r.spinUntil(p, deliverAt)
+	// the socket until the last byte leaves its transmit link; it polls
+	// (and eventually blocks) exactly like a receive-side wait. The
+	// drain time is sender-local, so it needs no cross-shard state.
+	r.spinUntil(p, txDone)
 }
 
 // spinUntil holds the node in the spin-then-block wait pattern until
@@ -123,6 +124,8 @@ func (r *Rank) Recv(p *sim.Proc, src, tag int) *Message {
 
 // matchOrWait finds a matching envelope in the unexpected queue or
 // parks until one is delivered.
+//
+//lint:allow profgate (posting a receive allocates its queue entry and cond by design — bounded per-message protocol state, not an event-core loop)
 func (r *Rank) matchOrWait(p *sim.Proc, src, tag int) *Message {
 	for i, m := range r.unexpected {
 		if matches(src, tag, m) {
@@ -130,13 +133,15 @@ func (r *Rank) matchOrWait(p *sim.Proc, src, tag int) *Message {
 			return m
 		}
 	}
-	pr := &postedRecv{src: src, tag: tag, cond: sim.NewCond(r.w.eng)}
+	pr := &postedRecv{src: src, tag: tag, cond: sim.NewCond(r.eng())}
 	r.posted = append(r.posted, pr)
 	return r.waitOn(p, pr.cond).(*Message)
 }
 
 // completeRecv finishes the protocol for a matched envelope: copy-out
 // for eager data, or the CTS/data exchange for a rendezvous RTS.
+//
+//lint:allow profgate (the rendezvous reply path allocates its CTS message and data cond by design — bounded per-message protocol state, not an event-core loop)
 func (r *Rank) completeRecv(p *sim.Proc, m *Message) *Message {
 	switch m.kind {
 	case kindEager:
@@ -146,8 +151,8 @@ func (r *Rank) completeRecv(p *sim.Proc, m *Message) *Message {
 		return m
 	case kindRTS:
 		h := m.handle
-		dw := sim.NewCond(r.w.eng)
-		r.dataWait[h] = dw
+		dw := sim.NewCond(r.eng())
+		r.dataWait[rdKey{src: m.Src, handle: h}] = dw
 		cts := &Message{Src: r.id, Dst: m.Src, Tag: m.Tag, Size: r.w.cfg.ControlBytes, kind: kindCTS, handle: h}
 		r.transmitControl(cts)
 		data := r.waitOn(p, dw).(*Message)
@@ -180,9 +185,9 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, size int64, payload any) *Reques
 }
 
 func (r *Rank) isend(_ *sim.Proc, dst, tag int, size int64, payload any) *Request {
-	q := &Request{cond: sim.NewCond(r.w.eng)}
+	q := &Request{cond: sim.NewCond(r.eng())}
 	seq := r.claimSeq(dst) // posting order, not helper execution order
-	r.w.eng.Spawn(fmt.Sprintf("rank%d.isend", r.id), func(hp *sim.Proc) {
+	r.eng().Spawn(fmt.Sprintf("rank%d.isend", r.id), func(hp *sim.Proc) {
 		r.sendSeqed(hp, seq, dst, tag, size, payload)
 		q.done = true
 		q.cond.Broadcast()
@@ -201,8 +206,8 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int) *Request {
 }
 
 func (r *Rank) irecv(_ *sim.Proc, src, tag int) *Request {
-	q := &Request{cond: sim.NewCond(r.w.eng)}
-	r.w.eng.Spawn(fmt.Sprintf("rank%d.irecv", r.id), func(hp *sim.Proc) {
+	q := &Request{cond: sim.NewCond(r.eng())}
+	r.eng().Spawn(fmt.Sprintf("rank%d.irecv", r.id), func(hp *sim.Proc) {
 		q.msg = r.Recv(hp, src, tag)
 		q.done = true
 		q.cond.Broadcast()
@@ -263,7 +268,7 @@ func (r *Rank) Probe(p *sim.Proc, src, tag int) *Message {
 	}
 	// Park on a posted recv, then put the envelope back at the front
 	// of the unexpected queue so Recv can claim it.
-	pr := &postedRecv{src: src, tag: tag, cond: sim.NewCond(r.w.eng)}
+	pr := &postedRecv{src: src, tag: tag, cond: sim.NewCond(r.eng())}
 	r.posted = append(r.posted, pr)
 	m := r.waitOn(p, pr.cond).(*Message)
 	r.unexpected = append([]*Message{m}, r.unexpected...)

@@ -197,7 +197,7 @@ func TestControlBypassesLinkOccupancy(t *testing.T) {
 	// Saturate the 0→1 direction with bulk data.
 	_, bulkDeliver := s.Transfer(0, 1, 10_000_000) // 10s serialization
 	// A control message in the same direction is not queued behind it.
-	ctrlDeliver := s.Control(0, 1, 64)
+	ctrlDeliver := s.Control(0, 1, 64, 0)
 	if ctrlDeliver >= bulkDeliver {
 		t.Fatalf("control queued behind bulk: %v vs %v", ctrlDeliver, bulkDeliver)
 	}
@@ -218,8 +218,8 @@ func TestControlBypassesLinkOccupancy(t *testing.T) {
 func TestControlValidation(t *testing.T) {
 	_, s := newSwitch(2)
 	for _, fn := range []func(){
-		func() { s.Control(0, 0, 8) },
-		func() { s.Control(0, 9, 8) },
+		func() { s.Control(0, 0, 8, 0) },
+		func() { s.Control(0, 9, 8, 0) },
 	} {
 		func() {
 			defer func() {

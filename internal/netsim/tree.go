@@ -8,16 +8,27 @@ import (
 
 // Fabric is the interconnect abstraction the MPI runtime drives. Switch
 // (single-tier) and Tree (two-tier, oversubscribed) both implement it.
+// Bulk transfers are booked in two stages so sender and receiver can
+// live on different event-core shards: Send from sender context,
+// Accept from receiver context when the arrival fires.
 type Fabric interface {
 	// Ports reports the number of host ports.
 	Ports() int
 	// SerializationTime returns how long size bytes occupy a host link.
 	SerializationTime(size int64) sim.Duration
-	// Transfer books a bulk message and returns when its first byte
-	// leaves and its last byte arrives.
-	Transfer(src, dst int, size int64) (start, deliver sim.Time)
-	// Control delivers a small protocol message on the priority path.
-	Control(src, dst int, size int64) (deliver sim.Time)
+	// MinLatency reports the minimum sender-to-receiver delay; it bounds
+	// the conservative lookahead for sharded runs.
+	MinLatency() sim.Duration
+	// Send books the transmit side of a bulk message at time now and
+	// returns when its first byte leaves the sender and when it reaches
+	// the receiver port.
+	Send(src, dst int, size int64, now sim.Time) (start, arrive sim.Time)
+	// Accept books the receive side at the arrival time returned by Send
+	// and returns when the last byte lands.
+	Accept(src, dst int, size int64, arrive sim.Time) (deliver sim.Time)
+	// Control delivers a small protocol message sent at time now on the
+	// priority path.
+	Control(src, dst int, size int64, now sim.Time) (deliver sim.Time)
 }
 
 // Switch implements Fabric.
@@ -107,56 +118,78 @@ func (t *Tree) uplinkSer(size int64) sim.Duration {
 	return sim.DurationOf(float64(size) / t.cfg.UplinkBandwidthBytesPerSec)
 }
 
-// Transfer implements Fabric.
-func (t *Tree) Transfer(src, dst int, size int64) (start, deliver sim.Time) {
+// MinLatency implements Fabric: the intra-edge hop is the fastest path.
+func (t *Tree) MinLatency() sim.Duration { return t.cfg.Host.Latency }
+
+// Send implements Fabric. Unlike the flat switch, the tree's shared
+// uplink/downlink state couples ports on the same edge, so a Tree is
+// only valid on a single shard (cluster.Config.Validate enforces this);
+// the two-stage split still applies, with fan-in to the receive link
+// resolved by Accept in arrival order.
+func (t *Tree) Send(src, dst int, size int64, now sim.Time) (start, arrive sim.Time) {
 	if src == dst {
-		panic(fmt.Sprintf("netsim: self-transfer on port %d", src)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
+		t.selfTransferPanic(src)
 	}
 	t.checkPort(src)
 	t.checkPort(dst)
-	now := t.eng.Now()
 	serHost := t.SerializationTime(size)
 	lat := t.cfg.Host.Latency
 
 	es, ed := t.EdgeOf(src), t.EdgeOf(dst)
 	if es == ed {
 		// Intra-edge: identical to the single switch.
-		start = maxTime(now, t.txFree[src], t.rxFree[dst]-sim.Time(lat))
+		start = maxTime(now, t.txFree[src])
 		t.txFree[src] = start.Add(serHost)
-		deliver = start.Add(serHost + lat)
-		t.rxFree[dst] = deliver
+		arrive = start.Add(lat)
 	} else {
 		// Inter-edge pipeline: host tx → uplink → core → downlink →
 		// host rx. The slowest stage dominates the transfer; every
 		// stage is booked busy for its own serialization time at its
 		// pipeline offset.
 		serUp := t.uplinkSer(size)
-		bottleneck := serHost
-		if serUp > bottleneck {
-			bottleneck = serUp
-		}
 		totalLat := 2*lat + t.cfg.CoreLatency
 		start = maxTime(now, t.txFree[src],
 			t.upFree[es]-sim.Time(lat),
-			t.dnFree[ed]-sim.Time(lat+t.cfg.CoreLatency),
-			t.rxFree[dst]-sim.Time(totalLat))
+			t.dnFree[ed]-sim.Time(lat+t.cfg.CoreLatency))
 		t.txFree[src] = start.Add(serHost)
 		t.upFree[es] = start.Add(sim.Duration(lat) + serUp)
 		t.dnFree[ed] = start.Add(sim.Duration(lat) + t.cfg.CoreLatency + serUp)
-		deliver = start.Add(sim.Duration(totalLat) + bottleneck)
-		t.rxFree[dst] = deliver
+		arrive = start.Add(sim.Duration(totalLat))
 	}
-
 	t.messages++
 	t.bytes += size
+	return start, arrive
+}
+
+// Accept implements Fabric: the last byte lands one bottleneck-stage
+// serialization behind whatever is still occupying the receive link.
+func (t *Tree) Accept(src, dst int, size int64, arrive sim.Time) (deliver sim.Time) {
+	t.checkPort(src)
+	t.checkPort(dst)
+	bottleneck := t.SerializationTime(size)
+	if t.EdgeOf(src) != t.EdgeOf(dst) {
+		if serUp := t.uplinkSer(size); serUp > bottleneck {
+			bottleneck = serUp
+		}
+	}
+	deliver = maxTime(arrive, t.rxFree[dst]).Add(bottleneck)
+	t.rxFree[dst] = deliver
+	return deliver
+}
+
+// Transfer books a whole message at the engine clock: Send followed
+// immediately by Accept, the single-engine convenience form.
+func (t *Tree) Transfer(src, dst int, size int64) (start, deliver sim.Time) {
+	start, arrive := t.Send(src, dst, size, t.eng.Now())
+	deliver = t.Accept(src, dst, size, arrive)
 	return start, deliver
 }
 
 // Control implements Fabric: latency-only priority delivery, with the
 // core hop added for inter-edge pairs.
-func (t *Tree) Control(src, dst int, size int64) (deliver sim.Time) {
+func (t *Tree) Control(src, dst int, size int64, now sim.Time) (deliver sim.Time) {
 	if src == dst {
-		panic(fmt.Sprintf("netsim: self-transfer on port %d", src)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
+		t.selfTransferPanic(src)
 	}
 	t.checkPort(src)
 	t.checkPort(dst)
@@ -166,7 +199,11 @@ func (t *Tree) Control(src, dst int, size int64) (deliver sim.Time) {
 	if t.EdgeOf(src) != t.EdgeOf(dst) {
 		lat += t.cfg.Host.Latency + t.cfg.CoreLatency
 	}
-	return t.eng.Now().Add(t.SerializationTime(size) + lat)
+	return now.Add(t.SerializationTime(size) + lat)
+}
+
+func (t *Tree) selfTransferPanic(port int) {
+	panic(fmt.Sprintf("netsim: self-transfer on port %d", port)) //lint:allow panicfree (network-model invariant; port/size misuse is a simulator bug)
 }
 
 // Stats reports the total messages and bytes transferred.

@@ -91,8 +91,8 @@ func TestTreeSlowUplinkIsBottleneck(t *testing.T) {
 
 func TestTreeControlPath(t *testing.T) {
 	_, tr := newTree(8, 4)
-	intra := tr.Control(0, 1, 64)
-	inter := tr.Control(0, 4, 64)
+	intra := tr.Control(0, 1, 64, 0)
+	inter := tr.Control(0, 4, 64, 0)
 	if inter <= intra {
 		t.Fatal("inter-edge control must pay the core hop")
 	}

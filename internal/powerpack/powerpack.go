@@ -66,7 +66,6 @@ type Event struct {
 	Kind   EventKind
 	Label  string
 	Energy power.Joules // node cumulative energy at the event
-	seq    uint64
 }
 
 // RegionProfile accumulates time and energy for one marked region on
@@ -79,41 +78,79 @@ type RegionProfile struct {
 	Energy power.Joules
 }
 
-// Profiler is the cluster-wide collection point. Per-node contexts
-// append to it; analysis methods filter and align.
+// Profiler is the cluster-wide collection point. Every node records
+// into its own event lane — registered up front when its NodeCtx is
+// built — so ranks on different event-core shards never share an
+// append target and no locking is needed; analysis methods merge the
+// lanes into one aligned timeline. The merged order is (time, node,
+// per-node recording order), which does not depend on shard count.
 type Profiler struct {
+	lanes []*lane
+}
+
+type lane struct {
+	node   int
 	events []Event
-	seq    uint64
 }
 
 // NewProfiler returns an empty profiler.
 func NewProfiler() *Profiler { return &Profiler{} }
 
-func (pr *Profiler) record(ev Event) {
-	pr.seq++
-	ev.seq = pr.seq
-	pr.events = append(pr.events, ev)
-}
-
-// Events returns every recorded event in recording order.
-func (pr *Profiler) Events() []Event {
-	out := make([]Event, len(pr.events))
-	copy(out, pr.events)
-	return out
-}
-
-// Timeline returns all events aligned on the global clock: sorted by
-// time, ties broken by recording order. This is the "filter and align
-// data sets from individual nodes" step of the paper's tool chain.
-func (pr *Profiler) Timeline() []Event {
-	out := pr.Events()
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].At != out[j].At {
-			return out[i].At < out[j].At
+// laneFor returns (registering if needed) the event lane for node id.
+// It must only be called at setup time, before the simulation runs.
+func (pr *Profiler) laneFor(id int) *lane {
+	for _, l := range pr.lanes {
+		if l.node == id {
+			return l
 		}
-		return out[i].seq < out[j].seq
-	})
+	}
+	l := &lane{node: id}
+	pr.lanes = append(pr.lanes, l)
+	return l
+}
+
+func (l *lane) record(ev Event) {
+	l.events = append(l.events, ev)
+}
+
+// Events returns every recorded event aligned on the global clock:
+// sorted by time, ties broken by node id then per-node recording
+// order. Each lane is already time-ordered (a node's clock never runs
+// backwards), so this is a deterministic k-way merge. This is the
+// "filter and align data sets from individual nodes" step of the
+// paper's tool chain.
+func (pr *Profiler) Events() []Event {
+	total := 0
+	for _, l := range pr.lanes {
+		total += len(l.events)
+	}
+	out := make([]Event, 0, total)
+	idx := make([]int, len(pr.lanes))
+	for len(out) < total {
+		best := -1
+		for i, l := range pr.lanes {
+			if idx[i] >= len(l.events) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a, b := &l.events[idx[i]], &pr.lanes[best].events[idx[best]]
+			if a.At < b.At || (a.At == b.At && l.node < pr.lanes[best].node) {
+				best = i
+			}
+		}
+		out = append(out, pr.lanes[best].events[idx[best]])
+		idx[best]++
+	}
 	return out
+}
+
+// Timeline is the aligned event sequence; since lanes merge in
+// (time, node, recording) order it is identical to Events.
+func (pr *Profiler) Timeline() []Event {
+	return pr.Events()
 }
 
 // NodeEvents filters the timeline to one node.
@@ -132,6 +169,7 @@ func (pr *Profiler) NodeEvents(node int) []Event {
 type NodeCtx struct {
 	node   *machine.Node
 	prof   *Profiler
+	lane   *lane
 	policy RegionPolicy
 
 	stack    []regionFrame
@@ -150,6 +188,7 @@ func NewNodeCtx(node *machine.Node, prof *Profiler, policy RegionPolicy) *NodeCt
 	return &NodeCtx{
 		node:     node,
 		prof:     prof,
+		lane:     prof.laneFor(node.ID()),
 		policy:   policy,
 		profiles: make(map[string]*RegionProfile),
 	}
@@ -163,7 +202,7 @@ func (c *NodeCtx) Node() *machine.Node { return c.node }
 // operating point).
 func (c *NodeCtx) EnterRegion(p *sim.Proc, name string) {
 	now := c.node.Engine().Now()
-	c.prof.record(Event{Node: c.node.ID(), At: now, Kind: EventEnter, Label: name, Energy: c.node.EnergyAt(now)})
+	c.lane.record(Event{Node: c.node.ID(), At: now, Kind: EventEnter, Label: name, Energy: c.node.EnergyAt(now)})
 	if c.policy != nil {
 		c.policy.OnEnter(p, c.node, name)
 	}
@@ -196,7 +235,7 @@ func (c *NodeCtx) ExitRegion(p *sim.Proc, name string) {
 	rp.Time += now.Sub(top.started)
 	rp.Energy += c.node.EnergyAt(now) - top.energy
 
-	c.prof.record(Event{Node: c.node.ID(), At: now, Kind: EventExit, Label: name, Energy: c.node.EnergyAt(now)})
+	c.lane.record(Event{Node: c.node.ID(), At: now, Kind: EventExit, Label: name, Energy: c.node.EnergyAt(now)})
 	if c.policy != nil {
 		c.policy.OnExit(p, c.node, name)
 	}
@@ -205,7 +244,7 @@ func (c *NodeCtx) ExitRegion(p *sim.Proc, name string) {
 // Mark records a free-form timestamped annotation.
 func (c *NodeCtx) Mark(label string) {
 	now := c.node.Engine().Now()
-	c.prof.record(Event{Node: c.node.ID(), At: now, Kind: EventMark, Label: label, Energy: c.node.EnergyAt(now)})
+	c.lane.record(Event{Node: c.node.ID(), At: now, Kind: EventMark, Label: label, Energy: c.node.EnergyAt(now)})
 }
 
 // SetFrequencyIndex is the application-level DVS control call
@@ -219,7 +258,7 @@ func (c *NodeCtx) SetFrequencyIndex(p *sim.Proc, idx int) error {
 		return err
 	}
 	now := c.node.Engine().Now()
-	c.prof.record(Event{
+	c.lane.record(Event{
 		Node: c.node.ID(), At: now, Kind: EventFreq,
 		Label:  c.node.OperatingPoint().Freq.String(),
 		Energy: c.node.EnergyAt(now),

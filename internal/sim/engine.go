@@ -71,6 +71,23 @@ func (e *Engine) schedulePastPanic(t Time) {
 	panic(fmt.Sprintf("sim: Schedule at %v before now %v", t, e.now)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 }
 
+// PostArrival enqueues a cross-shard arrival event: fn runs at absolute
+// time t, after every locally scheduled event with the same timestamp,
+// ordered against other arrivals by (srcPort, srcSeq). The key is
+// supplied by the sender, not stamped here, so the heap's order is
+// independent of the order in which a Group drains its inboxes — the
+// property the seq-vs-sharded equality gates rely on. Arrivals in the
+// past panic like Schedule: the lookahead contract (arrivals land at
+// least one link latency past the window horizon) has been violated.
+//
+//lint:hotpath runs once per cross-rank message on the delivery path
+func (e *Engine) PostArrival(t Time, srcPort int, srcSeq uint64, fn func()) {
+	if t < e.now {
+		e.schedulePastPanic(t)
+	}
+	e.queue.push(event{t: t, pri: arrivalClass | uint64(srcPort), seq: srcSeq, kind: evCall, fn: fn})
+}
+
 // After arranges for fn to run d from now. Negative d is treated as zero.
 func (e *Engine) After(d Duration, fn func()) {
 	if d < 0 {
@@ -124,6 +141,63 @@ func (e *Engine) Run(limit Time) (Time, error) {
 		return e.now, fmt.Errorf("%w (%d blocked)", ErrDeadlock, e.blocked) //lint:allow hotalloc (deadlock exit path, runs at most once per Run)
 	}
 	return e.now, nil
+}
+
+// RunUntil executes every event strictly before horizon h and returns.
+// It is the shard-side half of a Group window: the coordinator picks h
+// so that no other shard can inject an arrival earlier than h, and each
+// shard drains its queue up to (not including) h with exclusive access
+// to its own state. Unlike Run it performs no deadlock check — with
+// multiple shards only the Group can tell whether a blocked process
+// might still be woken by a message from elsewhere — and it leaves the
+// clock at the last executed event; the Group advances all clocks to
+// the common horizon at the barrier.
+//
+//lint:hotpath the sharded dispatch loop runs once per event
+func (e *Engine) RunUntil(h Time) error {
+	if e.closed {
+		return errors.New("sim: engine is closed")
+	}
+	if e.running {
+		return errors.New("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }() //lint:allow hotalloc (one closure per window, not per event)
+
+	for e.queue.Len() > 0 && e.queue.peek().t < h {
+		ev := e.queue.pop()
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		if ev.kind == evCall { // fast path: no dispatch call for plain events
+			ev.fn()
+		} else {
+			e.resumeProc(ev.kind, ev.p)
+		}
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	return nil
+}
+
+// NextEventTime reports the timestamp of the earliest pending event, or
+// false when the queue is empty.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if e.queue.Len() == 0 {
+		return 0, false
+	}
+	return e.queue.peek().t, true
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// The Group uses it at window barriers so that between-window reads
+// (utilization extrapolation, energy integration) see a consistent
+// "now" on every shard. Moving backwards is a no-op.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
 }
 
 // resumeProc fires a process-lifecycle event. Each kind checks the

@@ -23,20 +23,33 @@ const (
 )
 
 // event is a scheduled occurrence at time t. Events with equal times
-// fire in scheduling order (seq), which keeps runs deterministic. For
+// fire in (pri, seq) order, which keeps runs deterministic. Locally
+// scheduled events carry pri 0 and the engine's own sequence counter,
+// so a purely local engine behaves exactly as before: scheduling order
+// is execution order. Events injected from another shard (PostArrival)
+// carry a priority key derived from the sending port and the sender's
+// own per-port sequence number — a total order that does not depend on
+// which shard ran first or how inter-shard inboxes were drained, which
+// is what makes sharded runs byte-identical to sequential ones. For
 // process events the target is stored intrusively in p; fn is set only
-// for evCall. The struct is deliberately lean (40 bytes): the heap
+// for evCall. The struct is deliberately lean (48 bytes): the heap
 // moves events by value, so every field is paid on each sift.
 type event struct {
 	t    Time
+	pri  uint64
 	seq  uint64
 	fn   func()
 	p    *Proc
 	kind eventKind
 }
 
-// eventHeap is a 4-ary min-heap of events ordered by (time, seq). It is
-// implemented directly rather than via container/heap to avoid
+// arrivalClass is the priority-class bit for cross-shard arrivals: at
+// equal times every local event (pri 0) fires before every arrival, and
+// arrivals order among themselves by source port then source sequence.
+const arrivalClass = uint64(1) << 63
+
+// eventHeap is a 4-ary min-heap of events ordered by (time, pri, seq).
+// It is implemented directly rather than via container/heap to avoid
 // interface boxing on the hot path, and with 4 children per node to
 // halve the tree depth: siftDown dominates pop, and the wider fanout
 // trades a few extra comparisons per level for significantly fewer
@@ -51,6 +64,9 @@ func (h *eventHeap) less(i, j int) bool {
 	a, b := &h.items[i], &h.items[j]
 	if a.t != b.t {
 		return a.t < b.t
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
 	return a.seq < b.seq
 }

@@ -62,6 +62,30 @@ func (r *Recorder) Spawn(eng *sim.Engine, done func() bool) {
 	})
 }
 
+// GlobalPri is the coordinator-global priority the recorder's ticks
+// use; it must not collide with any other same-time global source
+// (see sim.Group.ScheduleGlobal).
+const GlobalPri = 1
+
+// SpawnGroup starts sampling on a sharded group. Each tick runs as a
+// coordinator global at a window barrier, where every shard's node
+// state is safely visible; sample times and row order match Spawn.
+func (r *Recorder) SpawnGroup(g *sim.Group, done func() bool) {
+	r.tick(g, g.Now(), done)
+}
+
+// tick schedules one sampling global at time at, which re-arms itself
+// unless done.
+func (r *Recorder) tick(g *sim.Group, at sim.Time, done func() bool) {
+	g.ScheduleGlobal(at, GlobalPri, func() {
+		r.sample(at)
+		if done != nil && done() {
+			return
+		}
+		r.tick(g, at.Add(r.interval), done)
+	})
+}
+
 func (r *Recorder) sample(at sim.Time) {
 	for _, n := range r.nodes {
 		s := Sample{
