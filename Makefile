@@ -37,16 +37,19 @@ race:
 
 # Simulator throughput benchmarks, archived as NDJSON (one go test
 # -json event per line): the sim-kernel microbenches (gated — pinned
-# -benchtime, -count 3), the 8-cell campaign matrix at parallelism 1 vs
-# 8 (their ratio is the fan-out speedup on this machine), one end-to-end
-# paper figure, the 256-rank sharded-FT run at 1 vs 4 event-core shards
-# (its speedup metric is the within-run parallelism gain), and the
-# repolint self-benchmarks (full module load + all analyzers, plus the
+# -benchtime, -count 3), the streaming trace pipeline at 1×/4×/16×
+# duration (gated — allocs/op must stay flat as the trace grows), the
+# 8-cell campaign matrix at parallelism 1 vs 8 (their ratio is the
+# fan-out speedup on this machine), one end-to-end paper figure, the
+# 256-rank sharded-FT run at 1 vs 4 event-core shards (its speedup
+# metric is the within-run parallelism gain), and the repolint
+# self-benchmarks (full module load + all analyzers, plus the
 # flow-sensitive detflow/hotalloc pass alone) so lint wall-time
 # regressions are tracked alongside sim throughput.
 bench:
 	: > $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime $(GATED_BENCHTIME) -count $(GATED_COUNT) $(GATED_PKG) >> $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench 'TraceStream' -benchmem -benchtime $(GATED_BENCHTIME) -count $(GATED_COUNT) ./internal/trace >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Campaign8' -benchmem ./internal/campaign >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Fig3FTClassB' -benchmem . >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'ShardedFT' -benchtime 1x -benchmem . >> $(BENCHOUT)
@@ -79,6 +82,7 @@ bench-profile:
 	$(GO) test -run '^$$' -bench 'Campaign8' -cpuprofile $(CURDIR)/$(PROFILES)/campaign.pprof -o $(BIN)/campaign.test ./internal/campaign
 	$(GO) test -run '^$$' -bench 'Fig3FTClassB' -cpuprofile $(CURDIR)/$(PROFILES)/figure.pprof -o $(BIN)/figure.test .
 	$(GO) test -run '^$$' -bench 'ShardedFT' -benchtime 1x -cpuprofile $(CURDIR)/$(PROFILES)/sharded.pprof -o $(BIN)/sharded.test .
+	$(GO) test -run '^$$' -bench 'TraceStream' -benchtime $(GATED_BENCHTIME) -cpuprofile $(CURDIR)/$(PROFILES)/trace.pprof -o $(BIN)/trace.test ./internal/trace
 
 # Profile-guided hot-root discovery: join the committed CPU profiles
 # against //lint:hotpath reachability. Reports functions the profiles

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/cluster"
@@ -30,8 +31,65 @@ import (
 	"repro/internal/dvs"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// traceFileName builds a filesystem-safe archive name for one run.
+func traceFileName(info cluster.RunInfo) string {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	return fmt.Sprintf("%s-%s-%s-%d.trc", clean(info.Workload), clean(info.Strategy), clean(info.Label), info.Seed)
+}
+
+// replayTrace summarizes one archived binary trace: per-node power
+// statistics plus a downsampled draw chart for the first traced node.
+func replayTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	rd, rerr := trace.NewReader(f)
+	err = rerr
+	if err == nil {
+		meta := rd.Meta()
+		node := meta.NodeIDs[0]
+		st := trace.NewStats()
+		ds := trace.NewDownsampler(node, 64)
+		if err = rd.Replay(st, ds); err == nil {
+			title := fmt.Sprintf("Power trace %s: %d nodes, %d ticks @ %.3fs",
+				filepath.Base(path), len(meta.NodeIDs), st.Ticks(), meta.Interval.Seconds())
+			err = report.TraceSummary(w, title, st)
+			if err == nil && st.Ticks() > 1 {
+				var peak float64
+				if p, perr := st.PeakPower(node); perr == nil {
+					peak = float64(p)
+				}
+				if peak > 0 {
+					xs, ys := ds.Series()
+					for i := range ys {
+						ys[i] /= peak
+					}
+					err = report.CurveChart(w,
+						fmt.Sprintf("Node %d total draw over time (fraction of peak, x in seconds)", node),
+						xs, []report.Series{{Name: "total W / peak W", Values: ys}}, 12)
+				}
+			}
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 type app struct {
 	runner *cluster.Runner
@@ -57,7 +115,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated list of items to produce (e.g. fig3,table1); empty = all")
 	reps := flag.Int("reps", 0, "override repetition count")
 	charts := flag.Bool("charts", false, "also render ASCII bar charts for the crescendos")
+	traceOut := flag.String("trace-out", "", "archive every run's binary power trace into this directory")
+	traceReplay := flag.String("trace-replay", "", "summarize one archived binary trace (no simulation), then exit")
 	flag.Parse()
+
+	if *traceReplay != "" {
+		if err := replayTrace(os.Stdout, *traceReplay); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := cluster.DefaultConfig()
 	if *quick {
@@ -70,6 +138,17 @@ func main() {
 	}
 	if *reps > 0 {
 		cfg.Reps = *reps
+	}
+	if *traceOut != "" {
+		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		cfg.TraceInterval = 250 * sim.Millisecond
+		dir := *traceOut
+		cfg.TraceSinks = func(info cluster.RunInfo) []trace.Sink {
+			return []trace.Sink{trace.NewFileWriter(filepath.Join(dir, traceFileName(info)))}
+		}
 	}
 	runner, err := cluster.NewRunner(cfg)
 	if err != nil {
@@ -140,12 +219,12 @@ func (a *app) fig2() error {
 	if !a.charts {
 		return nil
 	}
-	series := make(map[string][]float64, len(deltas))
+	series := make([]report.Series, 0, len(deltas))
 	var xs []float64
 	for _, d := range deltas {
 		x, ys := core.TradeoffCurve(d, 2.0, 61)
 		xs = x
-		series[fmt.Sprintf("d=%.1f", d)] = ys
+		series = append(series, report.Series{Name: fmt.Sprintf("d=%.1f", d), Values: ys})
 	}
 	return report.CurveChart(a.out, "Fig 2 (chart). Energy fraction vs delay factor", xs, series, 16)
 }
@@ -166,7 +245,7 @@ func (a *app) fig1AndTable1() error {
 		return err
 	}
 	return report.BestPoints(a.out, "Table 1. Operating points for mgrid and swim (MHz)",
-		map[string]core.Crescendo{"mgrid": mgrid, "swim": swim}, []string{"mgrid", "swim"})
+		[]report.CrescendoRow{{Name: "mgrid", Crescendo: mgrid}, {Name: "swim", Crescendo: swim}})
 }
 
 func (a *app) fig3AndTable3() error {
@@ -190,7 +269,7 @@ func (a *app) fig3AndTable3() error {
 		return err
 	}
 	return report.BestPoints(a.out, "Table 3. Best operating points for FT class B on 8 nodes (MHz)",
-		map[string]core.Crescendo{"FT": c}, []string{"FT"})
+		[]report.CrescendoRow{{Name: "FT", Crescendo: c}})
 }
 
 // strategiesFigure renders a Fig 4/5 style comparison.

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,9 +19,43 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dvs"
 	"repro/internal/power"
+	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// replayTrace reads a binary trace archive and prints its per-node
+// power statistics — no simulation involved. When csvOut is non-empty
+// the archive is also re-encoded to CSV, byte-identical to what a live
+// run with -trace would have produced.
+func replayTrace(w io.Writer, path, csvOut string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	rd, err := trace.NewReader(f)
+	if err == nil {
+		st := trace.NewStats()
+		sinks := []trace.Sink{st}
+		if csvOut != "" {
+			sinks = append(sinks, trace.NewFileCSV(csvOut))
+		}
+		if err = rd.Replay(sinks...); err == nil {
+			meta := rd.Meta()
+			title := fmt.Sprintf("Power trace %s: %d nodes, %d ticks @ %.3fs",
+				path, len(meta.NodeIDs), st.Ticks(), meta.Interval.Seconds())
+			err = report.TraceSummary(w, title, st)
+			if err == nil && csvOut != "" {
+				fmt.Fprintf(w, "CSV re-encoding written to %s\n", csvOut)
+			}
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // catalog builds the named workloads at a given scale.
 func catalog(scale int) map[string]func() workloads.Workload {
@@ -95,9 +130,19 @@ func main() {
 	exact := flag.Bool("exact", true, "report exact energy (false = ACPI battery protocol)")
 	jobs := flag.Int("j", 0, "max concurrent repetitions (0 = one worker per CPU, 1 = sequential)")
 	shards := flag.Int("shards", 1, "event-core shards per simulation (parallelism inside one run; results are identical at any value)")
-	traceOut := flag.String("trace", "", "write a per-node power trace CSV to this file")
+	traceCSV := flag.String("trace", "", "stream a per-node power trace CSV to this file (first repetition)")
+	traceBin := flag.String("trace-out", "", "stream a compact binary power trace to this file (first repetition)")
+	traceReplay := flag.String("trace-replay", "", "replay a binary trace archive: print per-node stats (no simulation); combine with -trace to re-encode it as CSV")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
+
+	if *traceReplay != "" {
+		if err := replayTrace(os.Stdout, *traceReplay, *traceCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	names := catalog(*scale)
 	if *list {
@@ -144,8 +189,25 @@ func main() {
 	cfg.UseTrueEnergy = *exact
 	cfg.Parallelism = *jobs
 	cfg.Shards = *shards
-	if *traceOut != "" {
+	if *traceCSV != "" || *traceBin != "" {
 		cfg.TraceInterval = 250 * sim.Millisecond
+		// Only the first repetition (seed == cfg.Seed) streams to the
+		// named files; later repetitions still collect stats.
+		firstSeed := cfg.Seed
+		csvPath, binPath := *traceCSV, *traceBin
+		cfg.TraceSinks = func(info cluster.RunInfo) []trace.Sink {
+			if info.Seed != firstSeed {
+				return nil
+			}
+			var sinks []trace.Sink
+			if csvPath != "" {
+				sinks = append(sinks, trace.NewFileCSV(csvPath))
+			}
+			if binPath != "" {
+				sinks = append(sinks, trace.NewFileWriter(binPath))
+			}
+			return sinks
+		}
 	}
 	runner, err := cluster.NewRunner(cfg)
 	if err != nil {
@@ -192,21 +254,18 @@ func main() {
 			i, float64(nr.Energy), busy, 100-busy, nr.Transitions, comp)
 	}
 
-	if *traceOut != "" && res.Trace != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+	if res.Trace != nil {
+		fmt.Println()
+		if err := report.TraceSummary(os.Stdout, "Power trace statistics (first repetition)", res.Trace); err != nil {
 			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
 			os.Exit(1)
 		}
-		if err := res.Trace.WriteCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
-			os.Exit(1)
+		if *traceCSV != "" {
+			fmt.Printf("power trace CSV (%d ticks) written to %s\n", res.Trace.Ticks(), *traceCSV)
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
-			os.Exit(1)
+		if *traceBin != "" {
+			fmt.Printf("binary power trace (%d ticks) written to %s\n", res.Trace.Ticks(), *traceBin)
 		}
-		fmt.Printf("\npower trace (%d samples) written to %s\n", res.Trace.Len(), *traceOut)
 	}
 
 	if len(res.Profiles) > 0 {

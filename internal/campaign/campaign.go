@@ -10,6 +10,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -49,6 +52,16 @@ type Spec struct {
 	// cluster.Config.Shards. Use it for big rank counts, where one
 	// cell dwarfs the cross product.
 	Shards int `json:"shards,omitempty"`
+
+	// TraceIntervalMS, when positive, samples every node's power draw
+	// at this period and streams per-node statistics into each cell's
+	// result (PeakPowerW). Nothing retains the raw samples.
+	TraceIntervalMS int `json:"trace_interval_ms,omitempty"`
+	// TraceDir, when set, archives every run's compact binary power
+	// trace into this directory (created if missing), one file per
+	// (workload, strategy, point, repetition seed). Requires
+	// TraceIntervalMS.
+	TraceDir string `json:"trace_dir,omitempty"`
 
 	// Workloads and Strategies form the cross product with PointsMHz.
 	Workloads  []WorkloadSpec `json:"workloads"`
@@ -102,6 +115,9 @@ type Result struct {
 	EnergyJ  float64 `json:"energy_j"`
 	DelayS   float64 `json:"delay_s"`
 	Reps     int     `json:"reps_kept"`
+	// PeakPowerW is the highest per-node sampled draw in the first
+	// repetition (0 when the spec sets no trace interval).
+	PeakPowerW float64 `json:"peak_power_w,omitempty"`
 }
 
 // Parse reads and validates a JSON spec.
@@ -130,6 +146,12 @@ func (s *Spec) validate() error {
 	}
 	if s.Shards < 0 {
 		return fmt.Errorf("campaign: negative shard count")
+	}
+	if s.TraceIntervalMS < 0 {
+		return fmt.Errorf("campaign: negative trace interval")
+	}
+	if s.TraceDir != "" && s.TraceIntervalMS == 0 {
+		return fmt.Errorf("campaign: trace_dir requires trace_interval_ms")
 	}
 	s.built = make([]workloads.Workload, len(s.Workloads))
 	for i := range s.Workloads {
@@ -298,7 +320,32 @@ func (s *Spec) config() cluster.Config {
 	cfg.Parallelism = s.Parallelism
 	cfg.Shards = s.Shards
 	cfg.UseTrueEnergy = s.ExactEnergy
+	if s.TraceIntervalMS > 0 {
+		cfg.TraceInterval = sim.Duration(s.TraceIntervalMS) * sim.Millisecond
+		if s.TraceDir != "" {
+			dir, name := s.TraceDir, s.Name
+			cfg.TraceSinks = func(info cluster.RunInfo) []trace.Sink {
+				return []trace.Sink{trace.NewFileWriter(filepath.Join(dir, traceFileName(name, info)))}
+			}
+		}
+	}
 	return cfg
+}
+
+// traceFileName builds a filesystem-safe archive name for one run.
+func traceFileName(campaign string, info cluster.RunInfo) string {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	return fmt.Sprintf("%s-%s-%s-%s-%d.trc",
+		clean(campaign), clean(info.Workload), clean(info.Strategy), clean(info.Label), info.Seed)
 }
 
 // points resolves the base operating-point indices to sweep.
@@ -392,6 +439,11 @@ func Run(s *Spec, progress func(string)) ([]Result, error) {
 		}
 	}
 	cfg := s.config()
+	if s.TraceDir != "" {
+		if err := os.MkdirAll(s.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+	}
 	runner, err := cluster.NewRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -424,6 +476,17 @@ func Run(s *Spec, progress func(string)) ([]Result, error) {
 			EnergyJ:  float64(energy),
 			DelayS:   agg.Delay.Seconds(),
 			Reps:     agg.Kept,
+		}
+		if st := agg.Runs[0].Trace; st != nil {
+			for _, id := range st.Nodes() {
+				p, perr := st.PeakPower(id)
+				if perr != nil {
+					return Result{}, fmt.Errorf("campaign: %s/%s: %w", c.w.Name(), c.strat.Name(), perr)
+				}
+				if float64(p) > res.PeakPowerW {
+					res.PeakPowerW = float64(p)
+				}
+			}
 		}
 		prog.done(i, fmt.Sprintf("%s %s@%s: %.0f J, %.2f s",
 			res.Workload, res.Strategy, res.Point, res.EnergyJ, res.DelayS))

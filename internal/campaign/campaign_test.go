@@ -2,8 +2,12 @@ package campaign
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 const miniSpec = `{
@@ -41,7 +45,9 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"nope"}]}`,   // bad strategy
 		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "net": "carrier-pigeon"}`,
 		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "settle": "soon"}`,
-		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "bogus": 1}`, // unknown field
+		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "bogus": 1}`,                 // unknown field
+		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "trace_interval_ms": -1}`,   // negative trace interval
+		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "trace_dir": "/tmp/traces"}`, // dir without interval
 	}
 	for i, c := range cases {
 		if _, err := Parse(strings.NewReader(c)); err == nil {
@@ -140,6 +146,73 @@ func TestRunMiniCampaign(t *testing.T) {
 	}
 	if e600 >= e1400 {
 		t.Fatalf("600MHz did not save energy: %v vs %v", e600, e1400)
+	}
+}
+
+func TestCampaignTraceArchiving(t *testing.T) {
+	dir := t.TempDir()
+	s := &Spec{
+		Name:            "traced",
+		Reps:            1,
+		Settle:          "30s",
+		ExactEnergy:     true,
+		TraceIntervalMS: 250,
+		TraceDir:        dir,
+		Workloads:       []WorkloadSpec{{Kind: "swim", Iters: 20}},
+		Strategies:      []StrategySpec{{Kind: "static"}},
+		PointsMHz:       []int{1400},
+	}
+	results, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].PeakPowerW <= 0 {
+		t.Fatalf("no peak power: %+v", results[0])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d archives for 1 cell × 1 rep", len(entries))
+	}
+	name := entries[0].Name()
+	if !strings.HasPrefix(name, "traced-swim-static-1.4GHz-") || !strings.HasSuffix(name, ".trc") {
+		t.Fatalf("archive name %q", name)
+	}
+	// The archive replays: its peak matches the reported one.
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.NewStats()
+	if err := rd.Replay(st); err != nil {
+		t.Fatal(err)
+	}
+	var peak float64
+	for _, id := range st.Nodes() {
+		p, err := st.PeakPower(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(p) > peak {
+			peak = float64(p)
+		}
+	}
+	if peak != results[0].PeakPowerW {
+		t.Fatalf("replayed peak %v, reported %v", peak, results[0].PeakPowerW)
 	}
 }
 

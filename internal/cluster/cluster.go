@@ -79,10 +79,18 @@ type Config struct {
 	// launch skew) that makes repetitions meaningfully different.
 	Seed int64
 
-	// TraceInterval, when positive, attaches a power-trace recorder
-	// sampling every node at this period; the recorder is returned on
-	// each Result for CSV export and analysis.
+	// TraceInterval, when positive, attaches a streaming power-trace
+	// recorder sampling every node at this period. Incremental
+	// statistics (mean/peak/energy per node) are always collected and
+	// returned on each Result; nothing retains the raw samples.
 	TraceInterval sim.Duration
+	// TraceSinks, when set, is called once per simulation run to build
+	// additional streaming consumers for that run's trace — e.g. a
+	// binary archive via trace.NewFileWriter. It may be called
+	// concurrently (repetitions and sweep points fan out across
+	// workers), so the factory must be safe for concurrent use.
+	// Requires a positive TraceInterval.
+	TraceSinks func(RunInfo) []trace.Sink
 
 	// UseTrueEnergy makes Sweep and RunCpuspeed report the exact
 	// integrated energy instead of the ACPI battery estimate. The
@@ -136,13 +144,23 @@ type Result struct {
 	Nodes    []NodeResult
 	Profiles []powerpack.RegionProfile // cluster-merged, by region
 	Events   []powerpack.Event
-	// Trace is the power-trace recorder, non-nil when the config set
-	// TraceInterval.
-	Trace *trace.Recorder
+	// Trace holds the streamed per-node power statistics, non-nil when
+	// the config set TraceInterval.
+	Trace *trace.Stats
 	// BatteryExhausted reports that at least one node's battery hit
 	// zero during the run, invalidating its ACPI estimate (the paper's
 	// protocol recharges fully between runs to avoid this).
 	BatteryExhausted bool
+}
+
+// RunInfo identifies one simulation run to a TraceSinks factory — what
+// is running and under which jitter seed — so the factory can route
+// each run's trace to a distinct destination (file name, buffer).
+type RunInfo struct {
+	Workload string
+	Strategy string
+	Label    string // operating-point label, e.g. "800MHz" or "cpuspeed"
+	Seed     int64
 }
 
 // Runner executes experiments on a fresh simulated cluster per run.
@@ -180,6 +198,8 @@ func (c Config) Validate() error {
 		return errors.New("cluster: sharded runs need a positive network latency for lookahead")
 	case c.TraceInterval < 0:
 		return errors.New("cluster: negative trace interval")
+	case c.TraceSinks != nil && c.TraceInterval <= 0:
+		return errors.New("cluster: TraceSinks requires a positive TraceInterval")
 	}
 	return nil
 }
@@ -308,10 +328,47 @@ func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, 
 	// window barriers via coordinator globals.
 	strip := meter.NewBaytechStrip(nodes, cfg.BaytechInterval)
 	strip.SpawnGroup(g, func() bool { return done })
+
+	label := table.At(baseIdx).Freq.String()
+	freq := table.At(baseIdx).Freq
+	if strat.Name() == "cpuspeed" {
+		label = "cpuspeed"
+		freq = 0
+	}
 	var rec *trace.Recorder
+	var traceStats *trace.Stats
 	if cfg.TraceInterval > 0 {
-		rec = trace.NewRecorder(nodes, cfg.TraceInterval)
+		traceStats = trace.NewStats()
+		sinks := []trace.Sink{traceStats}
+		if cfg.TraceSinks != nil {
+			sinks = append(sinks, cfg.TraceSinks(RunInfo{
+				Workload: w.Name(),
+				Strategy: strat.Name(),
+				Label:    label,
+				Seed:     seed,
+			})...)
+		}
+		var err error
+		rec, err = trace.New(trace.Config{Interval: cfg.TraceInterval, Nodes: nodes, Sinks: sinks})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s/%s@%s: %w", w.Name(), strat.Name(), label, err)
+		}
 		rec.SpawnGroup(g, func() bool { return done })
+	}
+	// closeTrace flushes the trace pipeline; on error paths the close
+	// error rides along with the primary one.
+	closeTrace := func(err error) error {
+		if rec == nil {
+			return err
+		}
+		cerr := rec.Close()
+		if cerr == nil {
+			return err
+		}
+		if err == nil {
+			return fmt.Errorf("cluster: %s/%s@%s: trace: %w", w.Name(), strat.Name(), label, cerr)
+		}
+		return fmt.Errorf("%w (also trace: %v)", err, cerr)
 	}
 
 	// Energy snapshot at the measurement window's start.
@@ -400,24 +457,23 @@ func (r *Runner) RunOnce(w workloads.Workload, strat dvs.Strategy, baseIdx int, 
 	}
 
 	if _, err := g.Run(sim.Time(cfg.MaxSimTime)); err != nil {
-		return nil, fmt.Errorf("cluster: %s/%s@%s: %w", w.Name(), strat.Name(), table.At(baseIdx).Freq, err)
+		return nil, closeTrace(fmt.Errorf("cluster: %s/%s@%s: %w", w.Name(), strat.Name(), table.At(baseIdx).Freq, err))
 	}
 	if !done {
-		return nil, fmt.Errorf("%w: %s/%s", ErrTimeout, w.Name(), strat.Name())
+		return nil, closeTrace(fmt.Errorf("%w: %s/%s", ErrTimeout, w.Name(), strat.Name()))
+	}
+	if err := closeTrace(nil); err != nil {
+		return nil, err
 	}
 
 	res := &Result{
 		Workload: w.Name(),
 		Strategy: strat.Name(),
-		Label:    table.At(baseIdx).Freq.String(),
-		Freq:     table.At(baseIdx).Freq,
+		Label:    label,
+		Freq:     freq,
 		Delay:    endAt.Sub(startAt),
 		Events:   prof.Events(),
-		Trace:    rec,
-	}
-	if strat.Name() == "cpuspeed" {
-		res.Label = "cpuspeed"
-		res.Freq = 0
+		Trace:    traceStats,
 	}
 
 	regions := map[string]bool{}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dvs"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -231,6 +232,10 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.MaxSimTime = c.Settle },
 		func(c *Config) { c.OutlierK = -1 },
 		func(c *Config) { c.TraceInterval = -1 },
+		func(c *Config) {
+			c.TraceInterval = 0
+			c.TraceSinks = func(RunInfo) []trace.Sink { return nil }
+		},
 	}
 	for i, brk := range breakers {
 		cfg := quickConfig()

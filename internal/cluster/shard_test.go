@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/dvs"
@@ -12,59 +14,81 @@ import (
 	"repro/internal/workloads"
 )
 
+// traceCapture collects each run's binary trace archive in memory,
+// keyed by jitter seed. The factory may be called from concurrent
+// exec.Map workers, so the map is mutex-guarded.
+type traceCapture struct {
+	mu   sync.Mutex
+	bufs map[int64]*bytes.Buffer
+}
+
+func newTraceCapture() *traceCapture {
+	return &traceCapture{bufs: map[int64]*bytes.Buffer{}}
+}
+
+func (tc *traceCapture) sinks(info RunInfo) []trace.Sink {
+	buf := &bytes.Buffer{}
+	tc.mu.Lock()
+	tc.bufs[info.Seed] = buf
+	tc.mu.Unlock()
+	return []trace.Sink{trace.NewWriter(buf)}
+}
+
 // shardTestConfig returns a full-apparatus config (battery protocol,
-// Baytech strip, power trace) at the given shard count, so the
-// equality tests cover every measurement path that runs on the group
-// coordinator, not just the event core.
-func shardTestConfig(shards int) Config {
+// Baytech strip, power trace with a binary archive sink) at the given
+// shard count, so the equality tests cover every measurement path that
+// runs on the group coordinator, not just the event core.
+func shardTestConfig(shards int, tc *traceCapture) Config {
 	cfg := DefaultConfig()
 	cfg.Settle = 30 * sim.Second
 	cfg.Reps = 2
 	cfg.Parallelism = 1
 	cfg.Shards = shards
 	cfg.TraceInterval = 250 * sim.Millisecond
-	return cfg
-}
-
-// stripTraces detaches the trace recorders from an aggregate (they hold
-// node/engine pointers that differ between runs) and returns their
-// samples for value comparison.
-func stripTraces(agg *Aggregate) [][]trace.Sample {
-	var samples [][]trace.Sample
-	for i := range agg.Runs {
-		if agg.Runs[i].Trace != nil {
-			samples = append(samples, agg.Runs[i].Trace.Samples())
-			agg.Runs[i].Trace = nil
-		}
+	if tc != nil {
+		cfg.TraceSinks = tc.sinks
 	}
-	return samples
+	return cfg
 }
 
 // TestShardedRunByteEquality pins the tentpole guarantee at the cluster
 // layer: a sharded run of a real multi-rank MPI workload — daemons,
 // staggered launches, governor, batteries, Baytech strip, power trace —
 // is byte-identical to the sequential (1-shard) run at every shard
-// count, including shard counts that do not divide the rank count.
+// count, including shard counts that do not divide the rank count. The
+// streamed trace stats ride along in the aggregate comparison (they
+// hold no engine pointers), and the binary trace archives are compared
+// byte for byte.
 func TestShardedRunByteEquality(t *testing.T) {
 	ft := workloads.NewFT('A', 4)
 	ft.IterOverride = 1
-	seq, err := MustRunner(shardTestConfig(1)).Run(ft, dvs.NewSlack(), 2)
+	seqTC := newTraceCapture()
+	seq, err := MustRunner(shardTestConfig(1, seqTC)).Run(ft, dvs.NewSlack(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seqSamples := stripTraces(seq)
+	if len(seqTC.bufs) != 2 {
+		t.Fatalf("%d trace archives for 2 reps", len(seqTC.bufs))
+	}
 	seqJSON, err := json.Marshal(seq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, shards := range []int{2, 3, 4} {
-		shr, err := MustRunner(shardTestConfig(shards)).Run(ft, dvs.NewSlack(), 2)
+		shrTC := newTraceCapture()
+		shr, err := MustRunner(shardTestConfig(shards, shrTC)).Run(ft, dvs.NewSlack(), 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		shrSamples := stripTraces(shr)
-		if !reflect.DeepEqual(shrSamples, seqSamples) {
-			t.Errorf("%d shards: power-trace samples differ from 1 shard", shards)
+		for seed, want := range seqTC.bufs {
+			got, ok := shrTC.bufs[seed]
+			if !ok {
+				t.Errorf("%d shards: no trace archive for seed %d", shards, seed)
+				continue
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("%d shards: binary trace archive for seed %d differs from 1 shard", shards, seed)
+			}
 		}
 		if !reflect.DeepEqual(shr, seq) {
 			t.Errorf("%d shards: aggregate differs from 1 shard:\nseq %+v\nshr %+v", shards, seq, shr)
@@ -87,7 +111,7 @@ func TestShardedSweepStrategies(t *testing.T) {
 	ft := workloads.NewFT('A', 4)
 	ft.IterOverride = 1
 	for _, strat := range []dvs.Strategy{dvs.NewDynamic(), dvs.NewAdaptive()} {
-		cfg := shardTestConfig(1)
+		cfg := shardTestConfig(1, nil)
 		cfg.Reps = 1
 		cfg.TraceInterval = 0
 		cfg.UseTrueEnergy = true

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// TestGoldenTraceEquivalence64Ranks pins the streaming pipeline's
+// migration guarantee on a large run: for a 64-rank workload, the CSV
+// streamed live during the simulation, the CSV re-encoded from the
+// binary archive of the same run, and the replayed per-node statistics
+// all agree — the binary format loses nothing, and the streaming path
+// reproduces the retained-slice export byte for byte (the CSV format
+// is pinned against the seed's formatting in the trace package tests).
+func TestGoldenTraceEquivalence64Ranks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-rank run")
+	}
+	ft := workloads.NewFT('A', 64)
+	ft.IterOverride = 1
+
+	var liveCSV, archive bytes.Buffer
+	cfg := DefaultConfig()
+	cfg.Settle = 30 * sim.Second
+	cfg.Reps = 1
+	cfg.UseTrueEnergy = true
+	cfg.TraceInterval = 250 * sim.Millisecond
+	cfg.TraceSinks = func(RunInfo) []trace.Sink {
+		return []trace.Sink{trace.NewCSV(&liveCSV), trace.NewWriter(&archive)}
+	}
+	res, err := MustRunner(cfg).RunOnce(ft, dvs.Static{}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Ticks() == 0 {
+		t.Fatal("no trace stats")
+	}
+	if got := len(res.Trace.Nodes()); got != 64 {
+		t.Fatalf("%d traced nodes", got)
+	}
+
+	rd, err := trace.NewReader(bytes.NewReader(archive.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayCSV bytes.Buffer
+	replayStats := trace.NewStats()
+	if err := rd.Replay(trace.NewCSV(&replayCSV), replayStats); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(replayCSV.Bytes(), liveCSV.Bytes()) {
+		t.Fatal("CSV replayed from the binary archive differs from the live CSV")
+	}
+	if replayStats.Ticks() != res.Trace.Ticks() {
+		t.Fatalf("replayed %d ticks, live %d", replayStats.Ticks(), res.Trace.Ticks())
+	}
+	for _, id := range res.Trace.Nodes() {
+		want, err := res.Trace.MeanPower(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := replayStats.MeanPower(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("node %d: replayed mean %v, live %v", id, got, want)
+		}
+	}
+	// The archive is far smaller than the CSV it reproduces.
+	if archive.Len() >= liveCSV.Len()/4 {
+		t.Errorf("binary archive %d B vs CSV %d B: compression lost", archive.Len(), liveCSV.Len())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -44,37 +43,39 @@ func pad(s string, width int) string {
 	return s + strings.Repeat(" ", width-len(s))
 }
 
-// CurveChart renders an x/y line as an ASCII scatter, used for the
+// Series is one named curve for CurveChart. Callers pass an ordered
+// slice, and that order drives marker assignment and the legend — the
+// chart never has to sort away map-iteration nondeterminism.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// CurveChart renders x/y lines as an ASCII scatter, used for the
 // Figure 2 tradeoff curves. Rows are y buckets from top (max) to
-// bottom, columns are the x samples.
-func CurveChart(w io.Writer, title string, xs []float64, series map[string][]float64, rows int) error {
+// bottom, columns are the x samples. Series are drawn (and listed in
+// the legend) in slice order.
+func CurveChart(w io.Writer, title string, xs []float64, series []Series, rows int) error {
 	if len(xs) == 0 || len(series) == 0 || rows < 2 {
 		return fmt.Errorf("report: bad curve chart input")
 	}
-	names := make([]string, 0, len(series))
-	for name := range series {
-		names = append(names, name)
-	}
-	// Sort before validating or assigning markers: map iteration order
-	// is randomized, and even the error message must be deterministic.
-	sort.Strings(names)
-	for _, name := range names {
-		if len(series[name]) != len(xs) {
-			return fmt.Errorf("report: series %q length mismatch", name)
+	for _, s := range series {
+		if len(s.Values) != len(xs) {
+			return fmt.Errorf("report: series %q length mismatch", s.Name)
 		}
 	}
 	markers := "*+ox^@%&"
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n", title)
-	for i, name := range names {
-		fmt.Fprintf(&sb, "  %c = %s\n", markers[i%len(markers)], name)
+	for i, s := range series {
+		fmt.Fprintf(&sb, "  %c = %s\n", markers[i%len(markers)], s.Name)
 	}
 	grid := make([][]byte, rows)
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", len(xs)))
 	}
-	for si, name := range names {
-		for xi, y := range series[name] {
+	for si, s := range series {
+		for xi, y := range s.Values {
 			if y < 0 {
 				y = 0
 			}

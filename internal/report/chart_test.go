@@ -31,26 +31,35 @@ func TestCrescendoChart(t *testing.T) {
 
 func TestCurveChart(t *testing.T) {
 	xs := []float64{1, 1.25, 1.5, 1.75, 2}
-	series := map[string][]float64{
-		"d=0.2": {1, 0.6, 0.4, 0.3, 0.2},
-		"d=0.0": {1, 0.8, 0.6, 0.5, 0.4},
+	series := []Series{
+		{Name: "d=0.0", Values: []float64{1, 0.8, 0.6, 0.5, 0.4}},
+		{Name: "d=0.2", Values: []float64{1, 0.6, 0.4, 0.3, 0.2}},
 	}
 	var sb strings.Builder
 	if err := CurveChart(&sb, "Fig 2.", xs, series, 11); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
+	// Markers follow slice order, not name order.
 	if !strings.Contains(out, "* = d=0.0") || !strings.Contains(out, "+ = d=0.2") {
 		t.Fatalf("legend missing:\n%s", out)
 	}
 	if !strings.Contains(out, "1.00 |") || !strings.Contains(out, "0.00 |") {
 		t.Fatal("y axis missing")
 	}
+	// Reversing the slice reverses the markers: the caller owns order.
+	var sb2 strings.Builder
+	if err := CurveChart(&sb2, "Fig 2.", xs, []Series{series[1], series[0]}, 11); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "* = d=0.2") {
+		t.Fatal("marker assignment should follow slice order")
+	}
 	// Validation paths.
 	if err := CurveChart(&sb, "x", nil, series, 11); err == nil {
 		t.Fatal("empty xs should error")
 	}
-	if err := CurveChart(&sb, "x", xs, map[string][]float64{"bad": {1}}, 11); err == nil {
+	if err := CurveChart(&sb, "x", xs, []Series{{Name: "bad", Values: []float64{1}}}, 11); err == nil {
 		t.Fatal("length mismatch should error")
 	}
 	if err := CurveChart(&sb, "x", xs, series, 1); err == nil {

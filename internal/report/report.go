@@ -99,20 +99,24 @@ func Crescendo(w io.Writer, title string, c core.Crescendo) error {
 	return err
 }
 
+// CrescendoRow is one named workload row for BestPoints. Callers pass
+// an ordered slice, so row order is theirs — no separate order slice,
+// no silently skipped names.
+type CrescendoRow struct {
+	Name      string
+	Crescendo core.Crescendo
+}
+
 // BestPoints renders a Table 1 / Table 3 style best-operating-point
-// table for several workloads.
-func BestPoints(w io.Writer, title string, rows map[string]core.Crescendo, order []string) error {
+// table for several workloads, in slice order.
+func BestPoints(w io.Writer, title string, rows []CrescendoRow) error {
 	t := &Table{
 		Title:  title,
 		Header: []string{"operating point", "HPC", "energy", "performance"},
 	}
-	for _, name := range order {
-		c, ok := rows[name]
-		if !ok {
-			continue
-		}
-		ops := c.SelectOperatingPoints()
-		t.AddRow(name, freqCell(ops.HPC), freqCell(ops.Energy), freqCell(ops.Performance))
+	for _, r := range rows {
+		ops := r.Crescendo.SelectOperatingPoints()
+		t.AddRow(r.Name, freqCell(ops.HPC), freqCell(ops.Energy), freqCell(ops.Performance))
 	}
 	_, err := t.WriteTo(w)
 	return err

@@ -34,16 +34,13 @@ func TestCrescendoRendering(t *testing.T) {
 
 func TestBestPointsRendering(t *testing.T) {
 	var sb strings.Builder
-	rows := map[string]core.Crescendo{"demo": sample()}
-	if err := BestPoints(&sb, "Table 1.", rows, []string{"demo", "missing"}); err != nil {
+	rows := []CrescendoRow{{Name: "demo", Crescendo: sample()}}
+	if err := BestPoints(&sb, "Table 1.", rows); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "demo") || !strings.Contains(out, "600") || !strings.Contains(out, "1400") {
 		t.Fatalf("output:\n%s", out)
-	}
-	if strings.Contains(out, "missing") {
-		t.Fatal("missing row should be skipped")
 	}
 }
 

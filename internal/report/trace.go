@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// TraceSummary renders per-node power statistics from a streaming
+// trace.Stats sink: mean and peak draw plus integrated energy, one row
+// per traced node.
+func TraceSummary(w io.Writer, title string, st *trace.Stats) error {
+	t := &Table{
+		Title:  title,
+		Header: []string{"node", "mean (W)", "peak (W)", "energy (J)"},
+	}
+	if st.Ticks() == 0 {
+		t.Comment = "no samples"
+		_, err := t.WriteTo(w)
+		return err
+	}
+	for _, id := range st.Nodes() {
+		mean, err := st.MeanPower(id)
+		if err != nil {
+			return err
+		}
+		peak, err := st.PeakPower(id)
+		if err != nil {
+			return err
+		}
+		energy, err := st.Energy(id)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("%d", id),
+			fmt.Sprintf("%.3f", float64(mean)),
+			fmt.Sprintf("%.3f", float64(peak)),
+			fmt.Sprintf("%.1f", float64(energy)))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestTraceSummary(t *testing.T) {
+	st := trace.NewStats()
+	meta := trace.Meta{Version: trace.FormatVersion, Interval: sim.Second,
+		NodeIDs: []int{0, 3}, Components: power.NumComponents}
+	if err := st.Begin(meta); err != nil {
+		t.Fatal(err)
+	}
+	row := []trace.Sample{{Node: 0, Total: 10}, {Node: 3, Total: 30}}
+	for i := 0; i < 4; i++ {
+		row[0].At = sim.Time(i) * sim.Time(sim.Second)
+		row[1].At = row[0].At
+		if err := st.Tick(row[0].At, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := TraceSummary(&sb, "Trace summary", st); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Trace summary", "mean (W)", "10.000", "30.000", "120.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Empty stats render a comment, not an error.
+	var sb2 strings.Builder
+	empty := trace.NewStats()
+	if err := empty.Begin(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := TraceSummary(&sb2, "Empty", empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "no samples") {
+		t.Fatalf("output:\n%s", sb2.String())
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// benchTicks drives the full streaming pipeline (binary writer, stats,
+// downsampler) with a synthetic 16-node trace of the given length. The
+// per-op cost and allocations must stay flat as ticks grows: the
+// pipeline is constant-memory in run length.
+func benchTicks(b *testing.B, ticks int) {
+	b.Helper()
+	const nodes = 16
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	meta := Meta{
+		Version:    FormatVersion,
+		Interval:   100 * sim.Millisecond,
+		NodeIDs:    ids,
+		Components: power.NumComponents,
+	}
+	row := make([]Sample, nodes)
+	states := machine.States()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		sinks := []Sink{NewWriter(io.Discard), NewStats(), NewDownsampler(0, 64)}
+		for _, sk := range sinks {
+			if err := sk.Begin(meta); err != nil {
+				b.Fatal(err)
+			}
+		}
+		at := sim.Time(0)
+		for t := 0; t < ticks; t++ {
+			for i := range row {
+				s := &row[i]
+				s.At = at
+				s.Node = ids[i]
+				s.Freq = dvfs.Hz(600e6 + int64((t+i)%5)*200e6)
+				s.State = states[(t+i)%len(states)]
+				s.Total = power.Watts(10 + float64((t*7+i*3)%200)/10)
+				for c := 0; c < power.NumComponents; c++ {
+					s.Component[c] = s.Total / power.Watts(power.NumComponents)
+				}
+			}
+			for _, sk := range sinks {
+				if err := sk.Tick(at, row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			at = at.Add(meta.Interval)
+		}
+		for _, sk := range sinks {
+			if err := sk.End(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(ticks * nodes))
+}
+
+func BenchmarkTraceStream1x(b *testing.B)  { benchTicks(b, 512) }
+func BenchmarkTraceStream4x(b *testing.B)  { benchTicks(b, 2048) }
+func BenchmarkTraceStream16x(b *testing.B) { benchTicks(b, 8192) }

@@ -1,0 +1,399 @@
+// Compact binary trace format: a versioned header followed by
+// append-only tick records, varint-delta encoded in per-node columns.
+// The codec is dependency-free (stdlib encoding/binary varints, like
+// the profgate pprof codec) and byte-deterministic: the same tick
+// stream always encodes to the same bytes, which is what the
+// sharded-vs-sequential equality gates compare.
+//
+//	header:
+//	  magic     "PWTR" (4 bytes)
+//	  version   uvarint (FormatVersion)
+//	  interval  uvarint, sampling period in ns
+//	  nnodes    uvarint
+//	  node ids  nnodes zigzag varints, delta vs the previous id
+//	  ncomp     uvarint, per-component power columns
+//	tick record (repeated until EOF; EOF is only legal between records):
+//	  dt        uvarint, ns since the previous tick (first: absolute)
+//	  freq col  nnodes zigzag varints, delta vs the same node's
+//	            previous tick (first tick: vs 0)
+//	  state col nnodes uvarints
+//	  total col nnodes uvarints of float64 bits XOR the same node's
+//	            previous bits (an unchanged draw encodes as one byte)
+//	  comp cols ncomp × nnodes, same XOR scheme, column-major
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dvfs"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// FormatVersion is the binary trace format version this package
+// writes; Reader rejects anything else.
+const FormatVersion = 1
+
+// magic identifies a binary power trace.
+var magic = [4]byte{'P', 'W', 'T', 'R'}
+
+// maxNodes bounds the node count a reader will believe, so a corrupt
+// header cannot provoke an enormous allocation.
+const maxNodes = 1 << 20
+
+// Writer is the Sink that encodes the trace into the binary format.
+// It holds one scratch buffer and the per-node delta state — O(nodes)
+// regardless of run length — and emits one Write per tick.
+type Writer struct {
+	out      io.Writer
+	nnodes   int
+	ncomp    int
+	scratch  []byte
+	prevT    sim.Time
+	prevFreq []int64
+	prevBits []uint64 // nnodes × (1 + ncomp), node-major
+	err      error
+}
+
+// NewWriter returns a binary trace sink writing to w. The caller owns
+// w's buffering and lifetime (see NewFileWriter for a self-contained
+// file variant).
+func NewWriter(w io.Writer) *Writer { return &Writer{out: w} }
+
+// Begin writes the header.
+func (w *Writer) Begin(m Meta) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(m.NodeIDs) == 0 {
+		return w.fail(errors.New("trace: writer: no nodes"))
+	}
+	if m.Interval <= 0 {
+		return w.fail(errors.New("trace: writer: non-positive interval"))
+	}
+	w.nnodes = len(m.NodeIDs)
+	w.ncomp = m.Components
+	w.prevFreq = make([]int64, w.nnodes)
+	w.prevBits = make([]uint64, w.nnodes*(1+w.ncomp))
+	b := append(w.scratch[:0], magic[:]...)
+	b = binary.AppendUvarint(b, FormatVersion)
+	b = binary.AppendUvarint(b, uint64(m.Interval))
+	b = binary.AppendUvarint(b, uint64(w.nnodes))
+	prev := int64(0)
+	for _, id := range m.NodeIDs {
+		b = binary.AppendVarint(b, int64(id)-prev)
+		prev = int64(id)
+	}
+	b = binary.AppendUvarint(b, uint64(w.ncomp))
+	w.scratch = b
+	if _, err := w.out.Write(b); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// Tick appends one record. This is the record-append hot path: it runs
+// once per sampling interval for the whole run, so it must stay free
+// of per-tick allocations (the scratch buffer and delta arrays are
+// reused; only amortized scratch growth allocates).
+//
+//lint:hotpath
+func (w *Writer) Tick(at sim.Time, row []Sample) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(row) != w.nnodes {
+		return w.fail(fmt.Errorf("trace: writer: row has %d nodes, header has %d", len(row), w.nnodes)) //lint:allow hotalloc (error path; healthy ticks never reach it)
+	}
+	if at < w.prevT {
+		return w.fail(fmt.Errorf("trace: writer: tick at %v before previous %v", at, w.prevT)) //lint:allow hotalloc (error path; healthy ticks never reach it)
+	}
+	b := binary.AppendUvarint(w.scratch[:0], uint64(at.Sub(w.prevT)))
+	w.prevT = at
+	for i := range row {
+		f := int64(row[i].Freq)
+		b = binary.AppendVarint(b, f-w.prevFreq[i])
+		w.prevFreq[i] = f
+	}
+	for i := range row {
+		b = binary.AppendUvarint(b, uint64(row[i].State))
+	}
+	stride := 1 + w.ncomp
+	for i := range row {
+		bits := math.Float64bits(float64(row[i].Total))
+		j := i * stride
+		b = binary.AppendUvarint(b, bits^w.prevBits[j])
+		w.prevBits[j] = bits
+	}
+	for c := 0; c < w.ncomp; c++ {
+		for i := range row {
+			bits := math.Float64bits(float64(row[i].Component[c]))
+			j := i*stride + 1 + c
+			b = binary.AppendUvarint(b, bits^w.prevBits[j])
+			w.prevBits[j] = bits
+		}
+	}
+	w.scratch = b
+	if _, err := w.out.Write(b); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// End reports any sticky error; the format needs no trailer (the
+// stream is append-only and ends at any record boundary).
+func (w *Writer) End() error { return w.err }
+
+// fail latches the first error.
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Reader replays an archived binary trace. Next decodes one tick into
+// a reused row buffer; Replay drives a set of sinks through the whole
+// stream, so every streaming consumer works identically on live runs
+// and archives.
+type Reader struct {
+	br       *bufio.Reader
+	meta     Meta
+	row      []Sample
+	prevT    sim.Time
+	prevFreq []int64
+	prevBits []uint64
+}
+
+// NewReader parses the header and returns a reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	version, err := headerUvarint(br, "version")
+	if err != nil {
+		return nil, err
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", version, FormatVersion)
+	}
+	interval, err := headerUvarint(br, "interval")
+	if err != nil {
+		return nil, err
+	}
+	if interval == 0 || interval > math.MaxInt64 {
+		return nil, fmt.Errorf("trace: corrupt header: interval %d", interval)
+	}
+	nnodes, err := headerUvarint(br, "node count")
+	if err != nil {
+		return nil, err
+	}
+	if nnodes == 0 || nnodes > maxNodes {
+		return nil, fmt.Errorf("trace: corrupt header: %d nodes", nnodes)
+	}
+	ids := make([]int, nnodes)
+	prev := int64(0)
+	for i := range ids {
+		d, err := headerVarint(br, "node id")
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		if prev < 0 {
+			return nil, fmt.Errorf("trace: corrupt header: negative node id %d", prev)
+		}
+		ids[i] = int(prev)
+	}
+	ncomp, err := headerUvarint(br, "component count")
+	if err != nil {
+		return nil, err
+	}
+	if ncomp != uint64(power.NumComponents) {
+		return nil, fmt.Errorf("trace: %d power components in header, this build models %d", ncomp, power.NumComponents)
+	}
+	rd := &Reader{
+		br: br,
+		meta: Meta{
+			Version:    int(version),
+			Interval:   sim.Duration(interval),
+			NodeIDs:    ids,
+			Components: int(ncomp),
+		},
+		row:      make([]Sample, nnodes),
+		prevFreq: make([]int64, nnodes),
+		prevBits: make([]uint64, int(nnodes)*(1+int(ncomp))),
+	}
+	for i, id := range ids {
+		rd.row[i].Node = id
+	}
+	return rd, nil
+}
+
+// Meta returns the trace geometry. NodeIDs is shared with the reader;
+// treat it as read-only.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Next decodes one tick. The returned row is valid until the next call
+// (the buffer is reused). It returns io.EOF — and only io.EOF — at a
+// clean end of stream; a stream truncated inside a record returns a
+// wrapping of io.ErrUnexpectedEOF instead.
+func (r *Reader) Next() ([]Sample, error) {
+	// A clean EOF is only legal before a record's first byte; peek one
+	// byte to tell it apart from truncation inside the record.
+	if _, err := r.br.ReadByte(); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	if err := r.br.UnreadByte(); err != nil {
+		return nil, err
+	}
+	dt, err := r.recordUvarint("time delta")
+	if err != nil {
+		return nil, err
+	}
+	if dt > math.MaxInt64 || sim.Duration(dt) < 0 {
+		return nil, fmt.Errorf("trace: corrupt record: time delta %d", dt)
+	}
+	at := r.prevT.Add(sim.Duration(dt))
+	r.prevT = at
+	nStates := int64(len(machine.States()))
+	for i := range r.row {
+		d, err := r.recordVarint("frequency")
+		if err != nil {
+			return nil, err
+		}
+		r.prevFreq[i] += d
+		if r.prevFreq[i] < 0 {
+			return nil, fmt.Errorf("trace: corrupt record: negative frequency for node %d", r.row[i].Node)
+		}
+		r.row[i].At = at
+		r.row[i].Freq = dvfs.Hz(r.prevFreq[i])
+	}
+	for i := range r.row {
+		v, err := r.recordUvarint("state")
+		if err != nil {
+			return nil, err
+		}
+		if int64(v) >= nStates {
+			return nil, fmt.Errorf("trace: corrupt record: state %d out of range", v)
+		}
+		r.row[i].State = machine.State(v)
+	}
+	stride := 1 + r.meta.Components
+	for i := range r.row {
+		w, err := r.xorFloat(i * stride)
+		if err != nil {
+			return nil, err
+		}
+		r.row[i].Total = power.Watts(w)
+	}
+	for c := 0; c < r.meta.Components; c++ {
+		for i := range r.row {
+			w, err := r.xorFloat(i*stride + 1 + c)
+			if err != nil {
+				return nil, err
+			}
+			r.row[i].Component[c] = power.Watts(w)
+		}
+	}
+	return r.row, nil
+}
+
+// Replay streams the whole remaining trace through the sinks: Begin
+// with the archive's geometry, one Tick per record, then End.
+func (r *Reader) Replay(sinks ...Sink) error {
+	for _, s := range sinks {
+		if err := s.Begin(r.meta); err != nil {
+			return err
+		}
+	}
+	for {
+		row, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		at := row[0].At
+		for _, s := range sinks {
+			if err := s.Tick(at, row); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range sinks {
+		if err := s.End(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xorFloat decodes one XOR-chained float64 column cell at delta-state
+// slot j.
+func (r *Reader) xorFloat(j int) (float64, error) {
+	v, err := r.recordUvarint("power")
+	if err != nil {
+		return 0, err
+	}
+	r.prevBits[j] ^= v
+	return math.Float64frombits(r.prevBits[j]), nil
+}
+
+// recordUvarint reads one record varint; EOF inside a record is
+// truncation, not a clean end.
+func (r *Reader) recordUvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: truncated record (%s): %w", what, eofUnexpected(err))
+	}
+	return v, nil
+}
+
+func (r *Reader) recordVarint(what string) (int64, error) {
+	v, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: truncated record (%s): %w", what, eofUnexpected(err))
+	}
+	return v, nil
+}
+
+func headerUvarint(br *bufio.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: short header (%s): %w", what, eofUnexpected(err))
+	}
+	return v, nil
+}
+
+func headerVarint(br *bufio.Reader, what string) (int64, error) {
+	v, err := binary.ReadVarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: short header (%s): %w", what, eofUnexpected(err))
+	}
+	return v, nil
+}
+
+// eofUnexpected upgrades a bare io.EOF to io.ErrUnexpectedEOF: inside
+// a header or record, running out of bytes is corruption.
+func eofUnexpected(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

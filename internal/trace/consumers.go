@@ -1,0 +1,289 @@
+// Streaming consumers: every aggregate the old retain-everything
+// Recorder answered by scanning its sample slice is recomputed here
+// incrementally, in O(nodes) or O(chart points) memory. Consumers
+// declare what they aggregate up front (a stats window, a chart node
+// and resolution), so nothing downstream can re-materialize the trace.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// nodeAgg is one node's running aggregate.
+type nodeAgg struct {
+	sum    power.Watts
+	peak   power.Watts
+	energy power.Joules
+}
+
+// Stats is the incremental statistics sink: per-node mean and peak
+// power and rectangle-integrated energy, the streaming replacement for
+// the removed Recorder.MeanPower/NodeSeries scans.
+type Stats struct {
+	windowed bool
+	from, to sim.Time
+
+	interval sim.Duration
+	ids      []int
+	index    map[int]int
+	ticks    int
+	agg      []nodeAgg
+}
+
+// NewStats aggregates over the whole trace.
+func NewStats() *Stats { return &Stats{} }
+
+// NewWindowStats aggregates only the samples with from <= At <= to —
+// the window is declared up front, which is what makes a windowed
+// query possible without retaining the trace.
+func NewWindowStats(from, to sim.Time) *Stats {
+	return &Stats{windowed: true, from: from, to: to}
+}
+
+// Begin adopts the trace geometry.
+func (s *Stats) Begin(m Meta) error {
+	if s.windowed && s.to < s.from {
+		return errors.New("trace: stats window ends before it starts")
+	}
+	s.interval = m.Interval
+	s.ids = append(s.ids[:0], m.NodeIDs...)
+	s.index = make(map[int]int, len(s.ids))
+	for i, id := range s.ids {
+		s.index[id] = i
+	}
+	s.ticks = 0
+	s.agg = make([]nodeAgg, len(s.ids))
+	return nil
+}
+
+// Tick folds one row into the running aggregates. This is on the
+// streaming hot path; it allocates nothing.
+//
+//lint:hotpath
+func (s *Stats) Tick(at sim.Time, row []Sample) error {
+	if s.windowed && (at < s.from || at > s.to) {
+		return nil
+	}
+	s.ticks++
+	dt := s.interval.Seconds()
+	for i := range row {
+		a := &s.agg[i]
+		w := row[i].Total
+		a.sum += w
+		if w > a.peak {
+			a.peak = w
+		}
+		a.energy += power.Joules(float64(w) * dt)
+	}
+	return nil
+}
+
+// End is a no-op; the aggregates are already final.
+func (s *Stats) End() error { return nil }
+
+// Ticks reports how many sampling instants were aggregated (inside
+// the window, if one was declared).
+func (s *Stats) Ticks() int { return s.ticks }
+
+// Nodes returns the traced node IDs, in row order.
+func (s *Stats) Nodes() []int {
+	out := make([]int, len(s.ids))
+	copy(out, s.ids)
+	return out
+}
+
+// node resolves a node ID, requiring at least one aggregated tick.
+func (s *Stats) node(id int) (int, error) {
+	i, ok := s.index[id]
+	if !ok {
+		return 0, fmt.Errorf("trace: unknown node %d", id)
+	}
+	if s.ticks == 0 {
+		return 0, fmt.Errorf("trace: no samples for node %d", id)
+	}
+	return i, nil
+}
+
+// MeanPower returns a node's average sampled draw.
+func (s *Stats) MeanPower(id int) (power.Watts, error) {
+	i, err := s.node(id)
+	if err != nil {
+		return 0, err
+	}
+	return s.agg[i].sum / power.Watts(s.ticks), nil
+}
+
+// PeakPower returns a node's highest sampled draw.
+func (s *Stats) PeakPower(id int) (power.Watts, error) {
+	i, err := s.node(id)
+	if err != nil {
+		return 0, err
+	}
+	return s.agg[i].peak, nil
+}
+
+// Energy returns a node's rectangle-integrated sampled energy
+// (sum of draw × interval).
+func (s *Stats) Energy(id int) (power.Joules, error) {
+	i, err := s.node(id)
+	if err != nil {
+		return 0, err
+	}
+	return s.agg[i].energy, nil
+}
+
+// dsBucket accumulates a run of consecutive samples.
+type dsBucket struct {
+	t, v float64 // sums over n samples
+	n    int
+}
+
+// Downsampler is the online chart-series sink: it tracks one node's
+// total draw and keeps at most maxPoints buckets by doubling the
+// bucket width whenever the budget fills — O(maxPoints) memory for any
+// run length, with every sample contributing to exactly one bucket
+// mean.
+type Downsampler struct {
+	nodeID int
+	max    int
+
+	idx     int
+	width   int
+	buckets []dsBucket
+}
+
+// NewDownsampler builds a downsampler for the given node ID with a
+// point budget of maxPoints (at least 2, validated in Begin).
+func NewDownsampler(nodeID, maxPoints int) *Downsampler {
+	return &Downsampler{nodeID: nodeID, max: maxPoints}
+}
+
+// Begin locates the node in the trace geometry.
+func (d *Downsampler) Begin(m Meta) error {
+	if d.max < 2 {
+		return errors.New("trace: downsampler needs a budget of at least 2 points")
+	}
+	d.idx = -1
+	for i, id := range m.NodeIDs {
+		if id == d.nodeID {
+			d.idx = i
+		}
+	}
+	if d.idx < 0 {
+		return fmt.Errorf("trace: downsampler: node %d not in trace", d.nodeID)
+	}
+	d.width = 1
+	d.buckets = d.buckets[:0]
+	return nil
+}
+
+// Tick folds one sample into the current bucket, widening the buckets
+// when the point budget fills. On the streaming hot path; the bucket
+// slice stops growing once the budget is reached.
+//
+//lint:hotpath
+func (d *Downsampler) Tick(at sim.Time, row []Sample) error {
+	if d.idx >= len(row) {
+		return fmt.Errorf("trace: downsampler: row has %d nodes, need index %d", len(row), d.idx) //lint:allow hotalloc (error path; healthy ticks never reach it)
+	}
+	if len(d.buckets) == 0 || d.buckets[len(d.buckets)-1].n >= d.width {
+		if len(d.buckets) >= d.max {
+			d.rescale()
+		}
+		if len(d.buckets) == 0 || d.buckets[len(d.buckets)-1].n >= d.width {
+			d.buckets = append(d.buckets, dsBucket{}) //lint:allow hotalloc (amortized: the bucket slice is capped at maxPoints and reused after rescale)
+		}
+	}
+	b := &d.buckets[len(d.buckets)-1]
+	b.t += at.Seconds()
+	b.v += float64(row[d.idx].Total)
+	b.n++
+	return nil
+}
+
+// End is a no-op.
+func (d *Downsampler) End() error { return nil }
+
+// rescale merges adjacent bucket pairs in place and doubles the
+// bucket width.
+func (d *Downsampler) rescale() {
+	half := (len(d.buckets) + 1) / 2
+	for i := 0; i < half; i++ {
+		b := d.buckets[2*i]
+		if 2*i+1 < len(d.buckets) {
+			o := d.buckets[2*i+1]
+			b.t += o.t
+			b.v += o.v
+			b.n += o.n
+		}
+		d.buckets[i] = b
+	}
+	d.buckets = d.buckets[:half]
+	d.width *= 2
+}
+
+// Series returns the downsampled chart series: xs are mean sample
+// times in seconds, ys mean watts per bucket.
+func (d *Downsampler) Series() (xs, ys []float64) {
+	xs = make([]float64, len(d.buckets))
+	ys = make([]float64, len(d.buckets))
+	for i, b := range d.buckets {
+		xs[i] = b.t / float64(b.n)
+		ys[i] = b.v / float64(b.n)
+	}
+	return xs, ys
+}
+
+// CSV is the streaming CSV re-encoder: one row per (time, node) with
+// per-component watts in fixed columns, byte-identical to the export
+// the retained-slice Recorder.WriteCSV used to produce, emitted row by
+// row instead of from memory.
+type CSV struct {
+	cw  *csv.Writer
+	row []string
+}
+
+// NewCSV returns a CSV sink writing to w.
+func NewCSV(w io.Writer) *CSV { return &CSV{cw: csv.NewWriter(w)} }
+
+// Begin writes the column header.
+func (c *CSV) Begin(m Meta) error {
+	header := []string{"time_s", "node", "freq_mhz", "state", "total_w"}
+	for _, comp := range power.Components() {
+		header = append(header, comp.String()+"_w")
+	}
+	c.row = make([]string, len(header))
+	return c.cw.Write(header)
+}
+
+// Tick writes one CSV row per node.
+func (c *CSV) Tick(at sim.Time, row []Sample) error {
+	for i := range row {
+		s := &row[i]
+		c.row[0] = strconv.FormatFloat(s.At.Seconds(), 'f', 6, 64)
+		c.row[1] = strconv.Itoa(s.Node)
+		c.row[2] = strconv.Itoa(s.Freq.MHz())
+		c.row[3] = s.State.String()
+		c.row[4] = strconv.FormatFloat(float64(s.Total), 'f', 3, 64)
+		for ci := 0; ci < power.NumComponents; ci++ {
+			c.row[5+ci] = strconv.FormatFloat(float64(s.Component[ci]), 'f', 3, 64)
+		}
+		if err := c.cw.Write(c.row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// End flushes.
+func (c *CSV) End() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}

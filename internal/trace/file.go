@@ -1,0 +1,76 @@
+// File-backed sinks: self-contained wrappers that create their output
+// file at Begin and flush/close it at End, so a sink factory (see
+// cluster.Config.TraceSinks) can hand one to a concurrently running
+// simulation without managing the file's lifetime.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// fileSink wraps an inner sink with file lifecycle management.
+type fileSink struct {
+	path string
+	mk   func(io.Writer) Sink
+
+	f     *os.File
+	bw    *bufio.Writer
+	inner Sink
+}
+
+// NewFileWriter returns a binary-format sink (see Writer) that creates
+// path at Begin and closes it at End.
+func NewFileWriter(path string) Sink {
+	return &fileSink{path: path, mk: func(w io.Writer) Sink { return NewWriter(w) }}
+}
+
+// NewFileCSV returns a CSV sink that creates path at Begin and closes
+// it at End.
+func NewFileCSV(path string) Sink {
+	return &fileSink{path: path, mk: func(w io.Writer) Sink { return NewCSV(w) }}
+}
+
+func (fs *fileSink) Begin(m Meta) error {
+	f, err := os.Create(fs.path)
+	if err != nil {
+		return err
+	}
+	fs.f = f
+	fs.bw = bufio.NewWriter(f)
+	fs.inner = fs.mk(fs.bw)
+	if err := fs.inner.Begin(m); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%w (also close: %v)", err, cerr)
+		}
+		fs.f, fs.bw, fs.inner = nil, nil, nil
+		return err
+	}
+	return nil
+}
+
+func (fs *fileSink) Tick(at sim.Time, row []Sample) error {
+	if fs.inner == nil {
+		return fmt.Errorf("trace: file sink %s: Tick before Begin", fs.path)
+	}
+	return fs.inner.Tick(at, row)
+}
+
+func (fs *fileSink) End() error {
+	if fs.inner == nil {
+		return nil
+	}
+	err := fs.inner.End()
+	if ferr := fs.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := fs.f.Close(); err == nil {
+		err = cerr
+	}
+	fs.f, fs.bw, fs.inner = nil, nil, nil
+	return err
+}

@@ -1,16 +1,18 @@
-// Package trace records time-series power profiles of a running
+// Package trace streams time-series power profiles of a running
 // cluster — the data product behind the paper's per-component power
 // plots. A Recorder samples every node's instantaneous draw (total and
 // per component), operating point, and activity state on a fixed
-// virtual-time interval, and exports the aligned multi-node series as
-// CSV for external plotting.
+// virtual-time interval and hands each aligned multi-node tick to a
+// set of streaming Sinks: the compact binary Writer (archival format),
+// incremental Stats, an online chart Downsampler, and a CSV encoder.
+// No sink retains the full sample history — consumers declare what
+// they aggregate up front — so trace memory is O(nodes), not O(run
+// length), and archived traces replay byte-for-byte through Reader.
 package trace
 
 import (
-	"encoding/csv"
+	"errors"
 	"fmt"
-	"io"
-	"strconv"
 
 	"repro/internal/dvfs"
 	"repro/internal/machine"
@@ -28,27 +30,107 @@ type Sample struct {
 	Component [power.NumComponents]power.Watts
 }
 
-// Recorder samples a set of nodes on a fixed interval.
+// Meta describes a trace's fixed geometry: sinks receive it once, in
+// Begin, before the first tick. NodeIDs is shared — sinks must treat
+// it as read-only (copy it if they keep it past Begin).
+type Meta struct {
+	// Version is the binary format version (FormatVersion for traces
+	// produced by this package).
+	Version int
+	// Interval is the sampling period.
+	Interval sim.Duration
+	// NodeIDs lists the traced nodes; every tick's row is in this
+	// order.
+	NodeIDs []int
+	// Components is the number of per-component power columns.
+	Components int
+}
+
+// Sink consumes a trace tick by tick. Begin is called once with the
+// trace geometry, then Tick once per sampling instant with one Sample
+// per node (in Meta.NodeIDs order), then End once to flush. The row
+// slice is reused between ticks: a sink must not retain it.
+type Sink interface {
+	Begin(m Meta) error
+	Tick(at sim.Time, row []Sample) error
+	End() error
+}
+
+// Config describes a Recorder: what to sample, how often, and which
+// streaming consumers receive the ticks.
+type Config struct {
+	// Interval is the sampling period (must be positive).
+	Interval sim.Duration
+	// Nodes are the machines to sample (at least one).
+	Nodes []*machine.Node
+	// Sinks receive every tick, in order. A recorder with no sinks is
+	// valid (e.g. when only spawn-time validation is wanted) but
+	// records nothing.
+	Sinks []Sink
+}
+
+// Recorder samples a set of nodes on a fixed interval and streams the
+// aligned rows to its sinks. It retains nothing itself: one row buffer
+// is reused for every tick.
 type Recorder struct {
 	nodes    []*machine.Node
 	interval sim.Duration
-	samples  []Sample
+	sinks    []Sink
+	row      []Sample
+	err      error
+	closed   bool
 }
 
-// NewRecorder builds a recorder over nodes with the given sampling
-// interval.
-func NewRecorder(nodes []*machine.Node, interval sim.Duration) *Recorder {
-	if len(nodes) == 0 {
-		panic("trace: no nodes") //lint:allow panicfree (constructor misuse; recorder config is fixed at build time)
+// New validates the configuration, announces the trace geometry to
+// every sink (Begin), and returns the recorder.
+func New(cfg Config) (*Recorder, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("trace: no nodes")
 	}
-	if interval <= 0 {
-		panic("trace: non-positive interval") //lint:allow panicfree (constructor misuse; recorder config is fixed at build time)
+	if cfg.Interval <= 0 {
+		return nil, errors.New("trace: non-positive interval")
 	}
-	return &Recorder{nodes: nodes, interval: interval}
+	for i, s := range cfg.Sinks {
+		if s == nil {
+			return nil, fmt.Errorf("trace: nil sink at index %d", i)
+		}
+	}
+	r := &Recorder{
+		nodes:    cfg.Nodes,
+		interval: cfg.Interval,
+		sinks:    cfg.Sinks,
+		row:      make([]Sample, len(cfg.Nodes)),
+	}
+	ids := make([]int, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		ids[i] = n.ID()
+	}
+	meta := Meta{
+		Version:    FormatVersion,
+		Interval:   cfg.Interval,
+		NodeIDs:    ids,
+		Components: power.NumComponents,
+	}
+	for _, s := range r.sinks {
+		if err := s.Begin(meta); err != nil {
+			return nil, fmt.Errorf("trace: begin: %w", err)
+		}
+	}
+	return r, nil
 }
 
-// Spawn starts the sampling process; it takes an immediate sample, then
-// one per interval until done() reports true.
+// MustNew is New for configurations known good at compile time; it
+// panics on an invalid configuration.
+func MustNew(cfg Config) *Recorder {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Spawn starts the sampling process on a single engine; it takes an
+// immediate sample, then one per interval until done() reports true.
 func (r *Recorder) Spawn(eng *sim.Engine, done func() bool) {
 	eng.Spawn("trace", func(p *sim.Proc) {
 		r.sample(p.Now())
@@ -86,85 +168,47 @@ func (r *Recorder) tick(g *sim.Group, at sim.Time, done func() bool) {
 	})
 }
 
+// sample reads every node into the reused row buffer and streams it to
+// the sinks. After the first sink error the recorder goes inert; the
+// error surfaces from Close (and Err).
 func (r *Recorder) sample(at sim.Time) {
-	for _, n := range r.nodes {
-		s := Sample{
-			At:    at,
-			Node:  n.ID(),
-			Freq:  n.OperatingPoint().Freq,
-			State: n.State(),
-			Total: n.Power(),
+	if r.err != nil || r.closed {
+		return
+	}
+	for i, n := range r.nodes {
+		s := &r.row[i]
+		s.At = at
+		s.Node = n.ID()
+		s.Freq = n.OperatingPoint().Freq
+		s.State = n.State()
+		s.Total = n.Power()
+		for c := 0; c < power.NumComponents; c++ {
+			s.Component[c] = n.ComponentPower(power.Component(c))
 		}
-		for _, c := range power.Components() {
-			s.Component[c] = n.ComponentPower(c)
+	}
+	for _, sk := range r.sinks {
+		if err := sk.Tick(at, r.row); err != nil {
+			r.err = fmt.Errorf("trace: tick: %w", err)
+			return
 		}
-		r.samples = append(r.samples, s)
 	}
 }
 
-// Samples returns all recordings so far.
-func (r *Recorder) Samples() []Sample {
-	out := make([]Sample, len(r.samples))
-	copy(out, r.samples)
-	return out
+// Close flushes every sink (End) and returns the first error the
+// pipeline hit — a mid-run Tick failure or an End failure. It is
+// idempotent; samples arriving after Close are dropped.
+func (r *Recorder) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	for _, sk := range r.sinks {
+		if err := sk.End(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("trace: end: %w", err)
+		}
+	}
+	return r.err
 }
 
-// Len reports the number of recorded samples.
-func (r *Recorder) Len() int { return len(r.samples) }
-
-// WriteCSV exports the aligned series: one row per (time, node), with
-// per-component watts in fixed columns.
-func (r *Recorder) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	header := []string{"time_s", "node", "freq_mhz", "state", "total_w"}
-	for _, c := range power.Components() {
-		header = append(header, c.String()+"_w")
-	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, s := range r.samples {
-		row := []string{
-			strconv.FormatFloat(s.At.Seconds(), 'f', 6, 64),
-			strconv.Itoa(s.Node),
-			strconv.Itoa(s.Freq.MHz()),
-			s.State.String(),
-			strconv.FormatFloat(float64(s.Total), 'f', 3, 64),
-		}
-		for _, c := range power.Components() {
-			row = append(row, strconv.FormatFloat(float64(s.Component[c]), 'f', 3, 64))
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
-
-// NodeSeries filters the samples to one node, in time order.
-func (r *Recorder) NodeSeries(node int) []Sample {
-	var out []Sample
-	for _, s := range r.samples {
-		if s.Node == node {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-// MeanPower returns a node's average sampled draw over [from, to].
-func (r *Recorder) MeanPower(node int, from, to sim.Time) (power.Watts, error) {
-	var sum power.Watts
-	n := 0
-	for _, s := range r.samples {
-		if s.Node == node && s.At >= from && s.At <= to {
-			sum += s.Total
-			n++
-		}
-	}
-	if n == 0 {
-		return 0, fmt.Errorf("trace: no samples for node %d in [%v, %v]", node, from, to)
-	}
-	return sum / power.Watts(n), nil
-}
+// Err reports the first pipeline error so far without closing.
+func (r *Recorder) Err() error { return r.err }

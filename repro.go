@@ -22,6 +22,8 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/powerpack"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -380,6 +383,61 @@ type (
 	// NodeRunResult is the per-node outcome of a run.
 	NodeRunResult = cluster.NodeResult
 )
+
+// Streaming power traces. A run with Config.TraceInterval set samples
+// every node's draw on that period and streams each aligned tick
+// through composable sinks: the compact binary TraceWriter (replayable
+// via TraceReader), incremental TraceStats, an online chart
+// TraceDownsampler, and a CSV encoder. No consumer retains the raw
+// samples, so trace memory is O(nodes) regardless of run length.
+type (
+	// TraceSample is one node's instantaneous reading.
+	TraceSample = trace.Sample
+	// TraceMeta is a trace's fixed geometry, announced to sinks first.
+	TraceMeta = trace.Meta
+	// TraceSink consumes a trace tick by tick (Begin, Tick..., End).
+	TraceSink = trace.Sink
+	// TraceConfig describes a standalone trace recorder.
+	TraceConfig = trace.Config
+	// TraceRecorder samples nodes and streams rows to its sinks.
+	TraceRecorder = trace.Recorder
+	// TraceStats aggregates per-node mean/peak power and energy.
+	TraceStats = trace.Stats
+	// TraceWriter encodes a trace into the compact binary format.
+	TraceWriter = trace.Writer
+	// TraceReader decodes and replays a binary trace archive.
+	TraceReader = trace.Reader
+	// TraceDownsampler folds one node's draw into a bounded chart series.
+	TraceDownsampler = trace.Downsampler
+	// RunInfo identifies one run to a Config.TraceSinks factory.
+	RunInfo = cluster.RunInfo
+)
+
+// NewTrace builds a standalone streaming trace recorder (runs made
+// through a Runner build their own from Config.TraceInterval and
+// Config.TraceSinks).
+func NewTrace(cfg TraceConfig) (*TraceRecorder, error) { return trace.New(cfg) }
+
+// NewTraceStats returns a whole-trace statistics sink.
+func NewTraceStats() *TraceStats { return trace.NewStats() }
+
+// NewTraceWindowStats returns a statistics sink restricted to samples
+// with from <= At <= to.
+func NewTraceWindowStats(from, to Time) *TraceStats { return trace.NewWindowStats(from, to) }
+
+// NewTraceWriter returns a binary-format archive sink writing to w.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// NewTraceReader opens a binary trace archive for replay.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// NewTraceCSV returns a streaming CSV sink writing to w.
+func NewTraceCSV(w io.Writer) TraceSink { return trace.NewCSV(w) }
+
+// NewTraceDownsampler returns a bounded chart-series sink for one node.
+func NewTraceDownsampler(nodeID, maxPoints int) *TraceDownsampler {
+	return trace.NewDownsampler(nodeID, maxPoints)
+}
 
 // DefaultConfig returns the paper's apparatus: 5-minute battery settle,
 // 15-20 s ACPI refresh, one-minute Baytech polling, three repetitions

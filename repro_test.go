@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -173,19 +174,40 @@ func TestFacadeExtendedWorkloads(t *testing.T) {
 }
 
 func TestFacadeTraceRecording(t *testing.T) {
+	var archive bytes.Buffer
 	cfg := DefaultConfig()
 	cfg.Settle = 10 * Second
 	cfg.Reps = 1
 	cfg.UseTrueEnergy = true
 	cfg.TraceInterval = 100 * Millisecond
+	cfg.TraceSinks = func(RunInfo) []TraceSink {
+		return []TraceSink{NewTraceWriter(&archive)}
+	}
 	res, err := MustRunner(cfg).RunOnce(NewSwim(20), Static{}, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Trace == nil || res.Trace.Len() == 0 {
+	if res.Trace == nil || res.Trace.Ticks() == 0 {
 		t.Fatal("no trace")
 	}
-	if _, err := res.Trace.MeanPower(0, 0, Time(cfg.Settle)); err != nil {
+	mean, err := res.Trace.MeanPower(0)
+	if err != nil {
 		t.Fatal(err)
+	}
+	// The archived binary trace replays into identical statistics.
+	rd, err := NewTraceReader(&archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := NewTraceStats()
+	if err := rd.Replay(replayed); err != nil {
+		t.Fatal(err)
+	}
+	rmean, err := replayed.MeanPower(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmean != mean || replayed.Ticks() != res.Trace.Ticks() {
+		t.Fatalf("replayed stats differ: %v/%d vs %v/%d", rmean, replayed.Ticks(), mean, res.Trace.Ticks())
 	}
 }
