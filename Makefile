@@ -46,13 +46,20 @@ race:
 # self-benchmarks (full module load + all analyzers, plus the
 # flow-sensitive detflow/hotalloc pass alone) so lint wall-time
 # regressions are tracked alongside sim throughput.
+#
+# The sharded-FT run also captures a heap profile, committed under
+# profiles/ to feed the ROADMAP 4096-rank memory question. It uses the
+# .mprof extension (not .pprof) deliberately: profgate's loader treats
+# every profiles/*.pprof sample as CPU time, so a heap profile must
+# stay out of that glob.
 bench:
 	: > $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime $(GATED_BENCHTIME) -count $(GATED_COUNT) $(GATED_PKG) >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'TraceStream' -benchmem -benchtime $(GATED_BENCHTIME) -count $(GATED_COUNT) ./internal/trace >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Campaign8' -benchmem ./internal/campaign >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'Fig3FTClassB' -benchmem . >> $(BENCHOUT)
-	$(GO) test -json -run '^$$' -bench 'ShardedFT' -benchtime 1x -benchmem . >> $(BENCHOUT)
+	@mkdir -p $(PROFILES)
+	$(GO) test -json -run '^$$' -bench 'ShardedFT' -benchtime 1x -benchmem -memprofile $(CURDIR)/$(PROFILES)/shardedft_heap.mprof >> $(BENCHOUT)
 	$(GO) test -json -run '^$$' -bench 'RepolintModule|DetflowModule' -benchtime 1x -benchmem ./internal/lint >> $(BENCHOUT)
 	@grep 'ns/op' $(BENCHOUT) | sed 's/.*"Output":"//;s/\\n.*//;s/\\t/  /g' || true
 

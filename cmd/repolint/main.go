@@ -1,13 +1,15 @@
 // Command repolint runs the repository's analyzer suite (determinism,
 // floateq, unitsafety, panicfree, sharedstate, concsafety, erraudit,
-// detflow, hotalloc, profgate — see internal/lint) in two modes:
+// detflow, hotalloc, profgate, shardown, typestate — see
+// internal/lint) in two modes:
 //
 // Standalone, against package patterns, loading and type-checking the
 // module itself:
 //
 //	go run ./cmd/repolint ./...
 //	repolint -only determinism,panicfree ./internal/...
-//	repolint -json ./...   # one JSON object per line, suppressions included
+//	repolint -json ./...   # one JSON object per line, suppressions and timing included
+//	repolint -timing ./... # per-analyzer wall-time table on stderr
 //
 // And as a vet tool, speaking the go vet driver protocol (the -V=full
 // handshake, the -flags query, and the JSON .cfg package description
@@ -41,7 +43,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/loader"
@@ -60,6 +64,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	jsonOut := flag.Bool("json", false,
 		"standalone mode: print one JSON object per diagnostic (including suppressed ones) to stdout")
+	timing := flag.Bool("timing", false,
+		"standalone mode: print a per-analyzer wall-time table to stderr (-json always carries timing records)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -82,14 +88,14 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetUnit(args[0], analyzers))
 	}
-	os.Exit(runStandalone(args, analyzers, *jsonOut, ".", os.Stdout, os.Stderr))
+	os.Exit(runStandalone(args, analyzers, *jsonOut, *timing, ".", os.Stdout, os.Stderr))
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: repolint [-only a,b] [package pattern ...]\n"+
 		"       repolint benchdiff [-baseline file] [-band pct] [-update] [stream.json]\n"+
 		"       go vet -vettool=$(command -v repolint) ./...\n\nanalyzers:\n")
-	for _, a := range repolint.Analyzers {
+	for _, a := range repolint.All() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}
 	flag.PrintDefaults()
@@ -121,7 +127,7 @@ func printVersion(mode string) {
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	if only == "" {
-		return repolint.Analyzers, nil
+		return repolint.All(), nil
 	}
 	var out []*analysis.Analyzer
 	for _, name := range strings.Split(only, ",") {
@@ -145,9 +151,17 @@ type jsonDiagnostic struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
+// jsonTiming is the -json per-analyzer wall-time record, one per
+// analyzer after the diagnostics, so CI can watch lint cost alongside
+// lint state between commits.
+type jsonTiming struct {
+	Analyzer  string  `json:"analyzer"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
 // runStandalone loads packages with the module-aware loader (rooted at
 // dir) and runs every analyzer over every package.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool, dir string, stdout, stderr io.Writer) int {
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, timing bool, dir string, stdout, stderr io.Writer) int {
 	fset := token.NewFileSet()
 	pkgs, err := loader.Load(fset, dir, patterns...)
 	if err != nil {
@@ -156,10 +170,14 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 	}
 	enc := json.NewEncoder(stdout)
 	found := 0
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
 				fmt.Fprintf(stderr, "repolint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
 				return 1
 			}
@@ -191,6 +209,33 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 					}
 				}
 			}
+		}
+	}
+	if jsonOut {
+		// Timing records ride in the same stream after the diagnostics;
+		// wall times are measurements, not simulation outputs, so the
+		// determinism discipline does not apply to them.
+		for _, a := range analyzers {
+			if err := enc.Encode(jsonTiming{ //lint:allow detflow (per-analyzer wall time is a measurement; the lint wire format is not a deterministic simulation artifact)
+				Analyzer:  a.Name,
+				ElapsedMs: float64(elapsed[a.Name].Microseconds()) / 1e3,
+			}); err != nil {
+				//lint:allow detflow (the encode error string inherits the wall-time taint; it is operator diagnostics, not simulation output)
+				fmt.Fprintln(stderr, "repolint:", err)
+				return 1
+			}
+		}
+	}
+	if timing && !jsonOut {
+		order := make([]*analysis.Analyzer, len(analyzers))
+		copy(order, analyzers)
+		sort.SliceStable(order, func(i, j int) bool {
+			return elapsed[order[i].Name] > elapsed[order[j].Name]
+		})
+		fmt.Fprintf(stderr, "repolint: per-analyzer wall time over %d package(s):\n", len(pkgs))
+		for _, a := range order {
+			//lint:allow detflow (the -timing table prints measured wall time by design; it is operator diagnostics, not simulation output)
+			fmt.Fprintf(stderr, "  %-12s %8.1fms\n", a.Name, float64(elapsed[a.Name].Microseconds())/1e3)
 		}
 	}
 	if found > 0 {

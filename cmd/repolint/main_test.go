@@ -16,9 +16,9 @@ import (
 
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers("")
-	if err != nil || len(all) != len(repolint.Analyzers) {
+	if err != nil || len(all) != len(repolint.All()) {
 		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v; want the full suite (%d)",
-			len(all), err, len(repolint.Analyzers))
+			len(all), err, len(repolint.All()))
 	}
 	subset, err := selectAnalyzers("determinism, profgate")
 	if err != nil {
@@ -48,31 +48,53 @@ func TestRunStandaloneCleanPackage(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if code := runStandalone([]string{"./..."}, analyzers, false, root, &stdout, &stderr); code != 0 {
+	if code := runStandalone([]string{"./..."}, analyzers, false, true, root, &stdout, &stderr); code != 0 {
 		t.Fatalf("plain mode exit %d, stderr:\n%s", code, stderr.String())
 	}
 	if stdout.Len() != 0 {
 		t.Errorf("plain clean run wrote to stdout: %q", stdout.String())
 	}
+	// -timing was set: the pretty printer must report every analyzer's
+	// wall time on stderr.
+	for _, a := range analyzers {
+		if !strings.Contains(stderr.String(), a.Name) {
+			t.Errorf("-timing table missing analyzer %s:\n%s", a.Name, stderr.String())
+		}
+	}
 
 	stdout.Reset()
 	stderr.Reset()
-	if code := runStandalone([]string{"./..."}, analyzers, true, root, &stdout, &stderr); code != 0 {
+	if code := runStandalone([]string{"./..."}, analyzers, true, false, root, &stdout, &stderr); code != 0 {
 		t.Fatalf("-json mode exit %d, stderr:\n%s", code, stderr.String())
 	}
 	// Whatever -json emits (suppressed findings included) must be one
-	// well-formed object per line with the stable field set.
+	// well-formed object per line with the stable field set — now
+	// followed by one timing record per analyzer.
+	timings := make(map[string]bool)
 	dec := json.NewDecoder(bytes.NewReader(stdout.Bytes()))
 	for dec.More() {
-		var d jsonDiagnostic
-		if err := dec.Decode(&d); err != nil {
+		var raw map[string]any
+		if err := dec.Decode(&raw); err != nil {
 			t.Fatalf("-json output is not NDJSON: %v\n%s", err, stdout.String())
 		}
-		if d.Analyzer == "" || d.Pos == "" {
-			t.Errorf("-json object missing fields: %+v", d)
+		name, _ := raw["analyzer"].(string)
+		if name == "" {
+			t.Errorf("-json object missing analyzer field: %+v", raw)
 		}
-		if !d.Suppressed {
-			t.Errorf("clean tree emitted an unsuppressed diagnostic: %+v", d)
+		if _, isTiming := raw["elapsed_ms"]; isTiming {
+			timings[name] = true
+			continue
+		}
+		if pos, _ := raw["pos"].(string); pos == "" {
+			t.Errorf("-json diagnostic missing pos: %+v", raw)
+		}
+		if suppressed, _ := raw["suppressed"].(bool); !suppressed {
+			t.Errorf("clean tree emitted an unsuppressed diagnostic: %+v", raw)
+		}
+	}
+	for _, a := range analyzers {
+		if !timings[a.Name] {
+			t.Errorf("-json stream has no timing record for analyzer %s", a.Name)
 		}
 	}
 }
@@ -96,7 +118,7 @@ func TestRunStandaloneDiagnostics(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	code := runStandalone([]string{"./..."}, analyzers, true, dir, &stdout, &stderr)
+	code := runStandalone([]string{"./..."}, analyzers, true, false, dir, &stdout, &stderr)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2 (diagnostics); stderr:\n%s", code, stderr.String())
 	}
@@ -107,7 +129,8 @@ func TestRunStandaloneDiagnostics(t *testing.T) {
 		if err := dec.Decode(&d); err != nil {
 			t.Fatalf("-json output: %v", err)
 		}
-		if d.Analyzer == "determinism" && !d.Suppressed {
+		// Timing records share the stream but carry no position.
+		if d.Analyzer == "determinism" && d.Pos != "" && !d.Suppressed {
 			found = true
 		}
 	}

@@ -46,7 +46,7 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "net": "carrier-pigeon"}`,
 		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "settle": "soon"}`,
 		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "bogus": 1}`,                 // unknown field
-		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "trace_interval_ms": -1}`,   // negative trace interval
+		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "trace_interval_ms": -1}`,    // negative trace interval
 		`{"workloads": [{"kind":"swim"}], "strategies": [{"kind":"static"}], "trace_dir": "/tmp/traces"}`, // dir without interval
 	}
 	for i, c := range cases {

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// failEndSink accepts the whole protocol but fails at End — the shape
+// of a file sink whose final flush hits a full disk. Embedding a real
+// Stats keeps Begin/Tick semantics honest.
+type failEndSink struct {
+	inner *trace.Stats
+	err   error
+}
+
+func (s *failEndSink) Begin(m trace.Meta) error                 { return s.inner.Begin(m) }
+func (s *failEndSink) Tick(at sim.Time, r []trace.Sample) error { return s.inner.Tick(at, r) }
+func (s *failEndSink) End() error {
+	if err := s.inner.End(); err != nil {
+		return err
+	}
+	return s.err
+}
+
+// TestTraceSinkEndErrorSurfaces pins the closeTrace error-combining
+// path: a TraceSinks factory whose sink errors in End must fail
+// RunOnce even though the simulation itself succeeded — a trace
+// pipeline that could not flush is a run whose measurements cannot be
+// trusted on disk.
+func TestTraceSinkEndErrorSurfaces(t *testing.T) {
+	sentinel := errors.New("flush failed: device out of space")
+	cfg := DefaultConfig()
+	cfg.Reps = 1
+	cfg.TraceInterval = 250 * sim.Millisecond
+	cfg.TraceSinks = func(RunInfo) []trace.Sink {
+		return []trace.Sink{&failEndSink{inner: trace.NewStats(), err: sentinel}}
+	}
+
+	ft := workloads.NewFT('A', 4)
+	_, err := MustRunner(cfg).RunOnce(ft, dvs.Static{}, 2, 1)
+	if err == nil {
+		t.Fatal("RunOnce succeeded although the trace sink failed in End")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("RunOnce error %v does not wrap the sink's End error", err)
+	}
+	if !strings.Contains(err.Error(), "trace") {
+		t.Errorf("error %q does not identify the trace pipeline", err)
+	}
+}

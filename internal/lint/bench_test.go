@@ -27,7 +27,7 @@ func BenchmarkRepolintModule(b *testing.B) {
 		}
 		diags := 0
 		for _, pkg := range pkgs {
-			for _, a := range repolint.Analyzers {
+			for _, a := range repolint.All() {
 				pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
 				if err := a.Run(pass); err != nil {
 					b.Fatalf("%s: %s: %v", a.Name, pkg.ImportPath, err)
@@ -50,7 +50,7 @@ func BenchmarkRepolintModule(b *testing.B) {
 func BenchmarkDetflowModule(b *testing.B) {
 	root := moduleRoot(b)
 	var flow []*analysis.Analyzer
-	for _, a := range repolint.Analyzers {
+	for _, a := range repolint.All() {
 		if a.Name == "detflow" || a.Name == "hotalloc" {
 			flow = append(flow, a)
 		}

@@ -1,0 +1,1030 @@
+// Typestate extension of the dataflow engine: where dataflow.Run
+// tracks a Taint lattice along def-use chains, RunProto tracks a small
+// finite-state machine per protocol object — "this Writer is active",
+// "this Group is closed" — with the same structural control flow
+// (strong updates on the happy path, copy-and-join across branches,
+// bounded loop passes) plus the two features protocols need that taint
+// does not: deferred calls applied at every function exit (so `defer
+// g.Close()` discharges a completion obligation), and must-complete
+// checking at returns (an object that cannot be in an accepting state
+// on some exit path is reported there).
+//
+// Interprocedural precision comes from per-(callee, parameter, input
+// state) summaries: when a tracked object is passed to a same-package
+// function, the engine runs the callee's body with the parameter seeded
+// in each current state, memoizes the (output states, escaped) result,
+// and applies it at the call site; cycles resolve to the conservative
+// "escaped" summary, which silences obligations rather than inventing
+// violations.
+//
+// Soundness posture: the engine is deliberately quiet. Any flow it
+// cannot follow — returning the object, storing it into a field, slice,
+// map, or channel, or (per-protocol) passing it to an unknown function
+// — marks the object escaped, which disables all further checks on it.
+// Escape can hide a misuse; it cannot fabricate one.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StateSet is a bitset over one protocol's states (at most 32).
+type StateSet uint32
+
+// SingleState returns the set containing only state i.
+func SingleState(i int) StateSet { return 1 << uint(i) }
+
+// Has reports whether state i is in the set.
+func (s StateSet) Has(i int) bool { return s&SingleState(i) != 0 }
+
+// Empty reports whether the set has no states.
+func (s StateSet) Empty() bool { return s == 0 }
+
+// states iterates the members of the set in increasing order.
+func (s StateSet) states(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Proto is one declarative protocol: a state machine over the method
+// calls observed on a tracked value.
+type Proto struct {
+	// Name labels the protocol in diagnostics ("trace.Sink").
+	Name string
+	// Doc is the one-line protocol summary appended to diagnostics
+	// ("protocol is Begin, then Tick*, then End").
+	Doc string
+	// States names the machine's states; diagnostics print them.
+	States []string
+	// Start is the state a freshly created value is in.
+	Start int
+	// Methods maps a method name to its transition vector. A method
+	// absent from the map is protocol-neutral: it leaves the state
+	// unchanged (accessors like Err or Size).
+	Methods map[string]ProtoMethod
+	// Accepting marks the states in which abandoning the value is
+	// legal. Only consulted when MustComplete is set.
+	Accepting StateSet
+	// CompleteDoc names the completing call ("End", "Close") in
+	// must-complete diagnostics; when empty, the accepting state names
+	// are used.
+	CompleteDoc string
+	// MustComplete requires every tracked value to be possibly-accepting
+	// at every exit it is still live on: if no state in the value's set
+	// is accepting when a path leaves the function, the path is
+	// reported.
+	MustComplete bool
+	// EscapeOnPass controls what passing the value as an argument to an
+	// unsummarized call means: true (sinks, writers) hands off the
+	// remaining obligations to the callee and stops tracking; false
+	// (groups) assumes callees observe but do not drive the protocol,
+	// keeping the caller's obligations alive.
+	EscapeOnPass bool
+}
+
+// ProtoMethod is the transition vector of one method: Next[s] is the
+// post-state when called in state s, or a negative value when the call
+// violates the protocol in s.
+type ProtoMethod struct {
+	Next []int
+	// ErrReleases marks a method that cleans up after its own failure
+	// (a failed fileSink.Begin closes the file it opened): when the
+	// method's error result is checked non-nil, the value owes nothing
+	// in that branch.
+	ErrReleases bool
+}
+
+// ProtoViolation is one protocol misuse finding.
+type ProtoViolation struct {
+	// Pos anchors the violating call (or the exit statement, for
+	// must-complete findings).
+	Pos token.Pos
+	// Origin is where the tracked value was created.
+	Origin token.Pos
+	Proto  *Proto
+	Msg    string
+}
+
+// StateAnalysis configures one RunProto invocation.
+type StateAnalysis struct {
+	Info *types.Info
+	Fset *token.FileSet
+
+	// Origin classifies a call as creating a tracked value: it returns
+	// the protocol and the index of the call result that carries the
+	// value.
+	Origin func(call *ast.CallExpr) (p *Proto, result int, ok bool)
+
+	// Decl resolves a same-package function to its declaration, for
+	// interprocedural summaries. nil disables summaries (tracked
+	// arguments then follow the protocol's EscapeOnPass rule).
+	Decl func(fn *types.Func) *ast.FuncDecl
+
+	// Report receives each violation once (deduplicated by position).
+	Report func(v ProtoViolation)
+}
+
+// RunProto interprets body under a, reporting protocol violations
+// through a.Report. It is the typestate counterpart of Run.
+func RunProto(body *ast.BlockStmt, a *StateAnalysis) {
+	e := newProtoEngine(a)
+	e.pushFrame()
+	e.stmt(body)
+	e.exit(body.End(), false)
+}
+
+// objState is one tracked value's abstract state.
+type objState struct {
+	proto   *Proto
+	states  StateSet
+	origin  token.Pos
+	escaped bool
+}
+
+// deferredCall is one recorded defer, applied at function exits in
+// reverse order.
+type deferredCall struct {
+	obj    types.Object // nil when lit is set
+	method string
+	pos    token.Pos
+	lit    *ast.FuncLit
+}
+
+// frame scopes defers and created objects to one function (the top
+// declaration or a literal walked inline).
+type frame struct {
+	defers  []deferredCall
+	created []types.Object
+}
+
+type sumKey struct {
+	fn    *types.Func
+	param int // -1 is the receiver
+	in    int
+}
+
+type sumVal struct {
+	out     StateSet
+	escaped bool
+}
+
+type protoEngine struct {
+	a          *StateAnalysis
+	env        map[types.Object]objState
+	frames     []*frame
+	terminated bool
+	reported   map[token.Pos]bool
+	sums       map[sumKey]sumVal
+	running    map[sumKey]bool
+	// errGuard links a constructor's error result to the tracked value
+	// it vouches for: in the branch where the error is non-nil the
+	// value is nil, so its obligations vanish there.
+	errGuard map[types.Object]types.Object
+	// summarizing suppresses exit checks for seeded parameters and
+	// carries the seeded object whose exit states the summary collects.
+	seedObj   types.Object
+	seedOut   StateSet
+	seedAtRet bool
+}
+
+func newProtoEngine(a *StateAnalysis) *protoEngine {
+	return &protoEngine{
+		a:        a,
+		env:      make(map[types.Object]objState),
+		reported: make(map[token.Pos]bool),
+		sums:     make(map[sumKey]sumVal),
+		running:  make(map[sumKey]bool),
+		errGuard: make(map[types.Object]types.Object),
+	}
+}
+
+func (e *protoEngine) pushFrame() { e.frames = append(e.frames, &frame{}) }
+
+func (e *protoEngine) popFrame() *frame {
+	f := e.frames[len(e.frames)-1]
+	e.frames = e.frames[:len(e.frames)-1]
+	return f
+}
+
+func (e *protoEngine) topFrame() *frame { return e.frames[len(e.frames)-1] }
+
+func (e *protoEngine) report(pos, origin token.Pos, p *Proto, msg string) {
+	if e.reported[pos] {
+		return
+	}
+	e.reported[pos] = true
+	if e.a.Report != nil {
+		e.a.Report(ProtoViolation{Pos: pos, Origin: origin, Proto: p, Msg: msg})
+	}
+}
+
+// track starts tracking obj in proto's start state.
+func (e *protoEngine) track(obj types.Object, p *Proto, origin token.Pos) {
+	if obj == nil {
+		return
+	}
+	e.env[obj] = objState{proto: p, states: SingleState(p.Start), origin: origin}
+	f := e.topFrame()
+	f.created = append(f.created, obj)
+}
+
+// escape stops enforcing anything about obj.
+func (e *protoEngine) escape(obj types.Object) {
+	if obj == nil {
+		return
+	}
+	if st, ok := e.env[obj]; ok && !st.escaped {
+		st.escaped = true
+		e.env[obj] = st
+	}
+}
+
+// copyEnv snapshots the state for branch analysis.
+func (e *protoEngine) copyEnv() map[types.Object]objState {
+	out := make(map[types.Object]objState, len(e.env))
+	for k, v := range e.env {
+		out[k] = v
+	}
+	return out
+}
+
+// joinEnv merges another branch's outcome into the live env: states
+// union, escape is sticky.
+func (e *protoEngine) joinEnv(other map[types.Object]objState) {
+	for o, st := range other {
+		cur, ok := e.env[o]
+		if !ok {
+			e.env[o] = st
+			continue
+		}
+		cur.states |= st.states
+		cur.escaped = cur.escaped || st.escaped
+		e.env[o] = cur
+	}
+}
+
+// ---- statements ----
+
+func (e *protoEngine) stmt(s ast.Stmt) {
+	if e.terminated {
+		return
+	}
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if e.terminated {
+				break
+			}
+			e.stmt(st)
+		}
+	case *ast.ExprStmt:
+		e.eval(s.X, false)
+	case *ast.AssignStmt:
+		e.assignStmt(s)
+	case *ast.DeclStmt:
+		e.declStmt(s)
+	case *ast.IncDecStmt:
+		e.eval(s.X, false)
+	case *ast.ReturnStmt:
+		e.returnStmt(s)
+	case *ast.IfStmt:
+		e.stmt(s.Init)
+		e.eval(s.Cond, false)
+		guarded, guardNeq := e.nilGuard(s.Cond)
+		pre := e.copyEnv()
+		if guarded != nil && guardNeq {
+			// err != nil: the value is nil in this arm.
+			e.escape(guarded)
+		}
+		e.stmt(s.Body)
+		thenEnv, thenTerm := e.env, e.terminated
+		e.env, e.terminated = pre, false
+		if guarded != nil && !guardNeq {
+			// err == nil guarded the then arm; here the value is nil.
+			e.escape(guarded)
+		}
+		e.stmt(s.Else) // nil-safe
+		elseTerm := e.terminated
+		if thenTerm && elseTerm {
+			// Both arms left the function; anything after is dead on
+			// every path, but keep walking with the pre-branch view so
+			// later dead code cannot fabricate violations.
+			e.terminated = true
+			return
+		}
+		e.terminated = false
+		if !thenTerm {
+			if elseTerm {
+				e.env = thenEnv
+			} else {
+				e.joinEnv(thenEnv)
+			}
+		}
+	case *ast.ForStmt:
+		e.stmt(s.Init)
+		e.eval(s.Cond, false)
+		e.loopBody(func() {
+			e.stmt(s.Body)
+			e.stmt(s.Post)
+		})
+	case *ast.RangeStmt:
+		e.eval(s.X, true)
+		e.loopBody(func() { e.stmt(s.Body) })
+	case *ast.SwitchStmt:
+		e.stmt(s.Init)
+		e.eval(s.Tag, false)
+		e.branches(len(s.Body.List), func(i int) {
+			cc := s.Body.List[i].(*ast.CaseClause)
+			for _, x := range cc.List {
+				e.eval(x, false)
+			}
+			for _, st := range cc.Body {
+				if e.terminated {
+					break
+				}
+				e.stmt(st)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		e.stmt(s.Init)
+		e.branches(len(s.Body.List), func(i int) {
+			cc := s.Body.List[i].(*ast.CaseClause)
+			for _, st := range cc.Body {
+				if e.terminated {
+					break
+				}
+				e.stmt(st)
+			}
+		})
+	case *ast.SelectStmt:
+		e.branches(len(s.Body.List), func(i int) {
+			cc := s.Body.List[i].(*ast.CommClause)
+			e.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				if e.terminated {
+					break
+				}
+				e.stmt(st)
+			}
+		})
+	case *ast.SendStmt:
+		// The value escapes into the channel.
+		e.eval(s.Value, true)
+	case *ast.GoStmt:
+		e.eval(s.Call, false)
+	case *ast.DeferStmt:
+		e.deferStmt(s)
+	case *ast.LabeledStmt:
+		e.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// loopBody analyzes a loop body twice (propagating one loop-carried
+// transition) and joins with the zero-iteration state.
+func (e *protoEngine) loopBody(fn func()) {
+	pre := e.copyEnv()
+	for i := 0; i < maxLoopPasses; i++ {
+		fn()
+		if e.terminated {
+			// A return inside the loop: the zero-iteration state still
+			// falls through.
+			e.terminated = false
+			e.env = copyObjMap(pre)
+			return
+		}
+	}
+	e.joinEnv(pre)
+}
+
+func (e *protoEngine) branches(n int, fn func(i int)) {
+	pre := e.copyEnv()
+	var outs []map[types.Object]objState
+	for i := 0; i < n; i++ {
+		e.env = copyObjMap(pre)
+		e.terminated = false
+		fn(i)
+		if !e.terminated {
+			outs = append(outs, e.env)
+		}
+	}
+	e.terminated = false
+	e.env = copyObjMap(pre)
+	for _, o := range outs {
+		e.joinEnv(o)
+	}
+}
+
+func copyObjMap(m map[types.Object]objState) map[types.Object]objState {
+	out := make(map[types.Object]objState, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (e *protoEngine) assignStmt(s *ast.AssignStmt) {
+	// A call on the RHS may be an origin: bind its tracked result.
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if p, idx, isOrigin := e.origin(call); isOrigin {
+				// Evaluate arguments first (they may escape), then bind.
+				e.evalCallParts(call)
+				if idx < len(s.Lhs) || len(s.Lhs) == 1 {
+					li := idx
+					if len(s.Lhs) == 1 {
+						li = 0
+					}
+					if obj := lhsObject(e.a.Info, s.Lhs[li]); obj != nil {
+						e.track(obj, p, call.Pos())
+						e.bindErrGuard(s.Lhs, li, obj)
+						return
+					}
+				}
+				return
+			}
+		}
+	}
+	// err := obj.M(...) where M cleans up after its own failure: bind
+	// the error to the tracked value so the err != nil branch releases
+	// it.
+	if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if obj := e.trackedBase(sel.X); obj != nil {
+					if m, ok := e.env[obj].proto.Methods[sel.Sel.Name]; ok && m.ErrReleases {
+						e.eval(s.Rhs[0], false)
+						e.bindErrGuard(s.Lhs, -1, obj)
+						return
+					}
+				}
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		e.eval(r, false)
+	}
+	for i, lhs := range s.Lhs {
+		obj := lhsObject(e.a.Info, lhs)
+		if obj == nil || isGlobalVar(obj) {
+			// Store into a field, element, map, or package-level
+			// variable: a tracked RHS value escapes there.
+			if i < len(s.Rhs) {
+				e.escape(e.trackedBase(s.Rhs[i]))
+			}
+			continue
+		}
+		// Reassigning a variable drops any tracked value it held
+		// (over-approximation: the old value is now unreachable through
+		// this name; its obligations were either discharged or the
+		// value escaped when it arrived).
+		if i < len(s.Rhs) {
+			if src := e.trackedBase(s.Rhs[i]); src != nil && src != obj {
+				// Aliasing: the new name takes over; both names now
+				// refer to the same value, so strong updates through
+				// either would be unsound — escape the source and move
+				// its state to the destination.
+				st := e.env[src]
+				e.escape(src)
+				st.escaped = false
+				e.env[obj] = st
+				e.topFrame().created = append(e.topFrame().created, obj)
+				continue
+			}
+		}
+		if _, tracked := e.env[obj]; tracked {
+			e.escape(obj)
+		}
+	}
+}
+
+func (e *protoEngine) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) == 1 && len(vs.Names) >= 1 {
+			if call, isCall := ast.Unparen(vs.Values[0]).(*ast.CallExpr); isCall {
+				if p, idx, isOrigin := e.origin(call); isOrigin && idx < len(vs.Names) {
+					e.evalCallParts(call)
+					obj := e.a.Info.Defs[vs.Names[idx]]
+					e.track(obj, p, call.Pos())
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					e.bindErrGuard(lhs, idx, obj)
+					continue
+				}
+			}
+		}
+		for _, v := range vs.Values {
+			e.eval(v, false)
+		}
+	}
+}
+
+func (e *protoEngine) returnStmt(s *ast.ReturnStmt) {
+	for _, r := range s.Results {
+		// A returned tracked value hands its obligations to the caller.
+		e.eval(r, true)
+	}
+	if e.seedObj != nil {
+		if st, ok := e.env[e.seedObj]; ok {
+			e.seedOut |= st.states
+			if st.escaped {
+				e.seedAtRet = true
+			}
+		}
+	}
+	e.exit(s.Pos(), false)
+	e.terminated = true
+}
+
+func (e *protoEngine) deferStmt(s *ast.DeferStmt) {
+	call := s.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok && len(call.Args) == 0 {
+		f := e.topFrame()
+		f.defers = append(f.defers, deferredCall{lit: lit, pos: s.Pos()})
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := e.trackedBase(sel.X); obj != nil {
+			f := e.topFrame()
+			f.defers = append(f.defers, deferredCall{obj: obj, method: sel.Sel.Name, pos: s.Pos()})
+			for _, a := range call.Args {
+				e.evalArg(a)
+			}
+			return
+		}
+	}
+	// Any other defer: evaluate normally (arguments may escape).
+	e.eval(call, false)
+}
+
+// exit applies the current frame's defers (in reverse) to a copy of the
+// state and checks completion obligations on that copy. litEnd marks
+// the implicit fall-off exit of a function literal.
+func (e *protoEngine) exit(pos token.Pos, litEnd bool) {
+	_ = litEnd
+	saved := e.env
+	e.env = e.copyEnv()
+	f := e.topFrame()
+	for i := len(f.defers) - 1; i >= 0; i-- {
+		d := f.defers[i]
+		if d.lit != nil {
+			term := e.terminated
+			e.terminated = false
+			e.stmt(d.lit.Body)
+			e.terminated = term
+			continue
+		}
+		e.applyMethod(d.obj, d.method, d.pos)
+	}
+	for _, obj := range f.created {
+		st, ok := e.env[obj]
+		if !ok || st.escaped || !st.proto.MustComplete {
+			continue
+		}
+		if st.states&st.proto.Accepting == 0 {
+			e.report(pos, st.origin, st.proto,
+				st.proto.Name+" value does not reach "+acceptingHint(st.proto)+
+					" on this path ("+st.proto.Doc+")")
+			// Latch accepting so later exits on joined paths do not
+			// repeat the finding for the same object.
+			st.states |= st.proto.Accepting
+			saved[obj] = st
+		}
+	}
+	e.env = saved
+}
+
+// acceptingHint names the completing call or, failing that, the
+// accepting states, for the must-complete message.
+func acceptingHint(p *Proto) string {
+	if p.CompleteDoc != "" {
+		return p.CompleteDoc
+	}
+	names := ""
+	for _, i := range p.Accepting.states(len(p.States)) {
+		if names != "" {
+			names += " or "
+		}
+		names += p.States[i]
+	}
+	if names == "" {
+		return "completion"
+	}
+	return names
+}
+
+// ---- expressions ----
+
+// eval walks x; escaping controls whether a tracked value appearing
+// bare in this position (return operand, composite element, channel
+// send, argument of an unknown call) escapes.
+func (e *protoEngine) eval(x ast.Expr, escaping bool) {
+	if x == nil {
+		return
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		if escaping {
+			e.escape(e.trackedBase(x))
+		}
+	case *ast.ParenExpr:
+		e.eval(x.X, escaping)
+	case *ast.UnaryExpr:
+		e.eval(x.X, escaping)
+	case *ast.StarExpr:
+		e.eval(x.X, escaping)
+	case *ast.BinaryExpr:
+		e.eval(x.X, false)
+		e.eval(x.Y, false)
+	case *ast.IndexExpr:
+		e.eval(x.X, false)
+		e.eval(x.Index, false)
+	case *ast.IndexListExpr:
+		e.eval(x.X, false)
+	case *ast.SliceExpr:
+		e.eval(x.X, false)
+	case *ast.SelectorExpr:
+		e.eval(x.X, false)
+	case *ast.KeyValueExpr:
+		e.eval(x.Value, true) // composite element: escapes
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			e.eval(elt, true)
+		}
+	case *ast.TypeAssertExpr:
+		e.eval(x.X, escaping)
+	case *ast.CallExpr:
+		e.callExpr(x)
+	case *ast.FuncLit:
+		e.funcLit(x)
+	}
+}
+
+// funcLit walks a literal's body inline, sharing the environment (its
+// captures observe and drive the same protocol objects), with its own
+// defer/created frame so objects born inside it are checked at its end.
+func (e *protoEngine) funcLit(lit *ast.FuncLit) {
+	e.pushFrame()
+	term := e.terminated
+	e.terminated = false
+	e.stmt(lit.Body)
+	e.terminated = false
+	e.exit(lit.Body.End(), true)
+	f := e.popFrame()
+	// Objects created inside the literal are out of scope now.
+	for _, obj := range f.created {
+		delete(e.env, obj)
+	}
+	e.terminated = term
+}
+
+// origin wraps the analyzer hook.
+func (e *protoEngine) origin(call *ast.CallExpr) (*Proto, int, bool) {
+	if e.a.Origin == nil {
+		return nil, 0, false
+	}
+	return e.a.Origin(call)
+}
+
+// trackedBase resolves x to a live tracked object, or nil.
+func (e *protoEngine) trackedBase(x ast.Expr) types.Object {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := identObj(e.a.Info, id)
+	if obj == nil {
+		return nil
+	}
+	if st, tracked := e.env[obj]; tracked && !st.escaped {
+		return obj
+	}
+	return nil
+}
+
+// callExpr interprets one call: protocol method, summarized
+// same-package call, origin in expression position, or unknown call.
+func (e *protoEngine) callExpr(call *ast.CallExpr) {
+	if _, _, isOrigin := e.origin(call); isOrigin {
+		// Result discarded: the value is created and immediately
+		// dropped. Nothing to track (and for must-complete protocols
+		// nothing to report without a name to follow).
+		e.evalCallParts(call)
+		return
+	}
+
+	fun := ast.Unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if obj := e.trackedBase(sel.X); obj != nil {
+			st := e.env[obj]
+			if _, isProtoMethod := st.proto.Methods[sel.Sel.Name]; isProtoMethod {
+				for _, a := range call.Args {
+					e.evalArg(a)
+				}
+				e.applyMethod(obj, sel.Sel.Name, call.Pos())
+				return
+			}
+			// Unknown method on a tracked value: try a same-package
+			// summary over the receiver; otherwise protocol-neutral.
+			if fn := Callee(e.a.Info, call); fn != nil && e.applySummary(fn, obj, -1) {
+				e.evalArgsSkipping(call, nil)
+				return
+			}
+			e.evalArgsSkipping(call, nil)
+			return
+		}
+	}
+
+	// Tracked values passed as arguments.
+	fn := Callee(e.a.Info, call)
+	for i, arg := range call.Args {
+		obj := e.trackedBase(arg)
+		if obj == nil {
+			e.eval(arg, false)
+			continue
+		}
+		if fn != nil && e.applySummary(fn, obj, i) {
+			continue
+		}
+		if e.env[obj].proto.EscapeOnPass {
+			e.escape(obj)
+		}
+	}
+	if fun != nil {
+		if _, isSel := fun.(*ast.SelectorExpr); !isSel {
+			e.eval(fun, false)
+		} else {
+			e.eval(fun.(*ast.SelectorExpr).X, false)
+		}
+	}
+
+	// Terminators: a path that panics or exits owes no completion.
+	if isTerminatorCall(e.a.Info, call) {
+		e.terminated = true
+	}
+}
+
+// evalCallParts walks a call's arguments without treating the call as a
+// protocol event (used for origin calls).
+func (e *protoEngine) evalCallParts(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		e.evalArg(a)
+	}
+}
+
+// evalArg walks one call argument: a bare tracked value escapes only
+// when its protocol says passing hands off responsibility.
+func (e *protoEngine) evalArg(a ast.Expr) {
+	if obj := e.trackedBase(a); obj != nil {
+		if e.env[obj].proto.EscapeOnPass {
+			e.escape(obj)
+		}
+		return
+	}
+	e.eval(a, false)
+}
+
+// evalArgsSkipping walks arguments normally.
+func (e *protoEngine) evalArgsSkipping(call *ast.CallExpr, skip map[int]bool) {
+	for i, a := range call.Args {
+		if skip[i] {
+			continue
+		}
+		e.eval(a, false)
+	}
+}
+
+// applyMethod transitions obj on a call to method at pos.
+func (e *protoEngine) applyMethod(obj types.Object, method string, pos token.Pos) {
+	st, ok := e.env[obj]
+	if !ok || st.escaped {
+		return
+	}
+	m, ok := st.proto.Methods[method]
+	if !ok {
+		return
+	}
+	var next StateSet
+	bad := -1
+	anyOK := false
+	for _, s := range st.states.states(len(st.proto.States)) {
+		if m.Next[s] < 0 {
+			if bad < 0 {
+				bad = s
+			}
+			continue
+		}
+		anyOK = true
+		next |= SingleState(m.Next[s])
+	}
+	if bad >= 0 {
+		e.report(pos, st.origin, st.proto,
+			st.proto.Name+"."+method+" called in state "+quote(st.proto.States[bad])+
+				" ("+st.proto.Doc+")")
+	}
+	if anyOK {
+		st.states = next
+		e.env[obj] = st
+	}
+	// No legal source state: keep the old state to avoid cascading
+	// reports from one mistake.
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// applySummary applies the memoized (callee, param, state) summary when
+// the callee has a same-package body; it reports violations found
+// inside the callee once, at their own positions.
+func (e *protoEngine) applySummary(fn *types.Func, obj types.Object, param int) bool {
+	if e.a.Decl == nil {
+		return false
+	}
+	decl := e.a.Decl(fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	st := e.env[obj]
+	var out StateSet
+	escaped := false
+	for _, s := range st.states.states(len(st.proto.States)) {
+		sv := e.summarize(fn, decl, st.proto, param, s, st.origin)
+		out |= sv.out
+		escaped = escaped || sv.escaped
+	}
+	if out.Empty() {
+		out = st.states
+	}
+	st.states = out
+	st.escaped = st.escaped || escaped
+	e.env[obj] = st
+	return true
+}
+
+// summarize computes (memoized) what the callee does to a value of
+// proto arriving in state `in` through parameter `param` (-1 is the
+// receiver). Cycles resolve to "escaped", which silences rather than
+// reports.
+func (e *protoEngine) summarize(fn *types.Func, decl *ast.FuncDecl, p *Proto, param, in int, origin token.Pos) sumVal {
+	key := sumKey{fn: fn, param: param, in: in}
+	if sv, ok := e.sums[key]; ok {
+		return sv
+	}
+	if e.running[key] {
+		return sumVal{out: SingleState(in), escaped: true}
+	}
+	e.running[key] = true
+	defer delete(e.running, key)
+
+	var seedVar types.Object
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil {
+		if param < 0 {
+			seedVar = sig.Recv()
+		} else if param < sig.Params().Len() {
+			seedVar = sig.Params().At(param)
+		}
+	}
+	if seedVar == nil {
+		sv := sumVal{out: SingleState(in), escaped: true}
+		e.sums[key] = sv
+		return sv
+	}
+
+	sub := newProtoEngine(e.a)
+	sub.reported = e.reported // shared dedup: callee findings print once
+	sub.sums = e.sums
+	sub.running = e.running
+	sub.env[seedVar] = objState{proto: p, states: SingleState(in), origin: origin}
+	sub.seedObj = seedVar
+	sub.pushFrame()
+	sub.stmt(decl.Body)
+	if !sub.terminated {
+		// Implicit fall-off return.
+		if st, ok := sub.env[seedVar]; ok {
+			sub.seedOut |= st.states
+			if st.escaped {
+				sub.seedAtRet = true
+			}
+		}
+		sub.exit(decl.Body.End(), false)
+	}
+	out := sub.seedOut
+	if out.Empty() {
+		out = SingleState(in)
+	}
+	sv := sumVal{out: out, escaped: sub.seedAtRet}
+	e.sums[key] = sv
+	return sv
+}
+
+// nilGuard recognizes `x != nil` / `x == nil` conditions over an error
+// variable that guards a tracked value, returning the tracked object
+// and whether the comparison was !=.
+func (e *protoEngine) nilGuard(cond ast.Expr) (types.Object, bool) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
+		return nil, false
+	}
+	operand := b.X
+	if id, isNil := ast.Unparen(b.X).(*ast.Ident); isNil && id.Name == "nil" {
+		operand = b.Y
+	} else if id, isNil := ast.Unparen(b.Y).(*ast.Ident); !isNil || id.Name != "nil" {
+		return nil, false
+	}
+	id, ok := ast.Unparen(operand).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	errObj := identObj(e.a.Info, id)
+	if errObj == nil {
+		return nil, false
+	}
+	tracked := e.errGuard[errObj]
+	if tracked == nil {
+		return nil, false
+	}
+	return tracked, b.Op == token.NEQ
+}
+
+// bindErrGuard records lhs error idents vouching for a tracked value.
+func (e *protoEngine) bindErrGuard(lhs []ast.Expr, skip int, tracked types.Object) {
+	for i, l := range lhs {
+		if i == skip {
+			continue
+		}
+		obj := lhsObject(e.a.Info, l)
+		if obj == nil {
+			continue
+		}
+		if types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			e.errGuard[obj] = tracked
+		}
+	}
+}
+
+// isGlobalVar reports whether obj is a package-level variable (its
+// scope's parent is the universe scope).
+func isGlobalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	p := v.Parent()
+	return p != nil && p.Parent() == types.Universe
+}
+
+// lhsObject resolves a plain-identifier lvalue to its object; composite
+// lvalues (fields, elements) return nil.
+func lhsObject(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isTerminatorCall reports calls after which the current path does not
+// return normally: panic, os.Exit, log.Fatal*, runtime.Goexit.
+func isTerminatorCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := identObj(info, fun).(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn, _ := identObj(info, fun.Sel).(*types.Func)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "log":
+			return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		}
+	}
+	return false
+}

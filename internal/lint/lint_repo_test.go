@@ -42,7 +42,29 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loader returned no packages")
 	}
-	for _, a := range repolint.Analyzers {
+	// Dogfooding: the sweep must cover the linters themselves. If the
+	// loader ever skipped internal/lint (or the v5 analyzer packages),
+	// the clean-tree invariant would silently stop policing the code
+	// that enforces it.
+	covered := make(map[string]bool, len(pkgs))
+	for _, pkg := range pkgs {
+		covered[pkg.ImportPath] = true
+	}
+	// (internal/lint itself is all _test.go files, which the loader
+	// skips by design — the analyzers do not police tests.)
+	for _, path := range []string{
+		"repro/internal/lint/analysis",
+		"repro/internal/lint/dataflow",
+		"repro/internal/lint/shardown",
+		"repro/internal/lint/typestate",
+		"repro/internal/lint/repolint",
+		"repro/cmd/repolint",
+	} {
+		if !covered[path] {
+			t.Errorf("lint sweep does not load %s: repolint must self-lint", path)
+		}
+	}
+	for _, a := range repolint.All() {
 		for _, pkg := range pkgs {
 			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
 			if err := a.Run(pass); err != nil {

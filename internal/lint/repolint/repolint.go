@@ -1,7 +1,10 @@
 // Package repolint assembles the repository's analyzer suite. The
 // cmd/repolint multichecker, the go vet -vettool integration, and the
-// repo-wide clean-lint meta-test all run exactly this list, so adding
-// an analyzer here is the single step that wires it into every gate.
+// repo-wide clean-lint meta-test all call All() for exactly the same
+// list, so adding an analyzer to the registry here is the single step
+// that wires it into every gate — and no driver can end up running a
+// private subset, which is what let a suppression name a registered-
+// but-never-loaded analyzer before the inventory test caught it.
 package repolint
 
 import (
@@ -14,17 +17,20 @@ import (
 	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/panicfree"
 	"repro/internal/lint/profgate"
+	"repro/internal/lint/shardown"
 	"repro/internal/lint/sharedstate"
+	"repro/internal/lint/typestate"
 	"repro/internal/lint/unitsafety"
 )
 
-// Analyzers is the full repolint suite, in reporting order: the four
+// registry is the full repolint suite, in reporting order: the four
 // intra-function gates from v1, the v2 interprocedural gates built on
 // internal/lint/callgraph, the v3 flow-sensitive gates built on
-// internal/lint/dataflow, then the v4 profile-guided gate (a no-op
-// unless REPOLINT_PROFILES points at benchmark CPU profiles; see `make
-// profgate`).
-var Analyzers = []*analysis.Analyzer{
+// internal/lint/dataflow, the v4 profile-guided gate (a no-op unless
+// REPOLINT_PROFILES points at benchmark CPU profiles; see `make
+// profgate`), and the v5 shard-ownership and API-protocol gates for
+// the parallel core.
+var registry = []*analysis.Analyzer{
 	determinism.Analyzer,
 	floateq.Analyzer,
 	unitsafety.Analyzer,
@@ -35,11 +41,22 @@ var Analyzers = []*analysis.Analyzer{
 	detflow.Analyzer,
 	hotalloc.Analyzer,
 	profgate.Analyzer,
+	shardown.Analyzer,
+	typestate.Analyzer,
+}
+
+// All returns the registered analyzers in reporting order. The slice
+// is a copy: a driver reordering or subsetting its run cannot perturb
+// the registry other drivers see.
+func All() []*analysis.Analyzer {
+	out := make([]*analysis.Analyzer, len(registry))
+	copy(out, registry)
+	return out
 }
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *analysis.Analyzer {
-	for _, a := range Analyzers {
+	for _, a := range registry {
 		if a.Name == name {
 			return a
 		}

@@ -1,0 +1,22 @@
+package shardown_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/shardown"
+)
+
+// TestShardown runs the fixture package: each ownership rule's seeded
+// violation (foreign slot access, cross-shard scheduling, captured
+// coordinator writes, and the reconstructed mpi rendezvous collision)
+// next to the clean shapes — own-index slot writes, engine aliases,
+// annotated relays, coordinator globals — that must stay quiet.
+func TestShardown(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, shardown.Analyzer, "fixtures/shardown")
+}

@@ -44,8 +44,12 @@ func TestSuppressionInventory(t *testing.T) {
 		t.Fatal("loader returned no packages")
 	}
 
+	// One shared registry: the same repolint.All() slice the standalone
+	// and vet drivers run, so an analyzer cannot be "registered" for the
+	// directive-grammar check yet missing from the load-bearing check.
+	suite := repolint.All()
 	registered := make(map[string]bool)
-	for _, a := range repolint.Analyzers {
+	for _, a := range suite {
 		registered[a.Name] = true
 	}
 
@@ -53,7 +57,7 @@ func TestSuppressionInventory(t *testing.T) {
 	// according to the full suite.
 	used := make(map[string]bool)
 	for _, pkg := range pkgs {
-		for _, a := range repolint.Analyzers {
+		for _, a := range suite {
 			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
 			if err := a.Run(pass); err != nil {
 				t.Fatalf("%s: %s: %v", a.Name, pkg.ImportPath, err)

@@ -1,0 +1,22 @@
+package typestate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/typestate"
+)
+
+// TestTypestate runs the fixture package: each built-in protocol's
+// seeded violation (including the acceptance case, a Tick-after-End
+// sink, and a Writer abandoned on an error exit) next to the clean
+// shapes — defer-discharged obligations, err-guarded constructors,
+// sinks handed off to Replay — that must stay quiet.
+func TestTypestate(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, typestate.Analyzer, "fixtures/typestate")
+}

@@ -65,12 +65,12 @@ type Config struct {
 // DefaultConfig returns the calibrated MPICH-1.2.5-over-TCP cost model.
 func DefaultConfig() Config {
 	return Config{
-		EagerThreshold:     64 << 10,
-		SpinThreshold:      4 * sim.Second,
-		SendOverheadCycles: 25_000,
-		RecvOverheadCycles: 25_000,
-		PerByteCycles:      3.3,
-		PerByteCyclesEager: 1.8,
+		EagerThreshold:          64 << 10,
+		SpinThreshold:           4 * sim.Second,
+		SendOverheadCycles:      25_000,
+		RecvOverheadCycles:      25_000,
+		PerByteCycles:           3.3,
+		PerByteCyclesEager:      1.8,
 		ControlBytes:            64,
 		ReduceFlopsPerByte:      0.125,
 		AllreduceLargeThreshold: 64 << 10,
@@ -197,6 +197,8 @@ func (w *World) SpawnRanks(body func(p *sim.Proc, r *Rank)) []*sim.Proc {
 // group's inbox until the next window barrier. Both paths use the same
 // key, so the heap order — and therefore the simulation — is identical
 // at any shard count.
+//
+//lint:ownedby rank dst
 func (w *World) post(src, dst int, t sim.Time, fn func()) {
 	w.xseq[src]++
 	if w.group != nil && w.shard[src] != w.shard[dst] {

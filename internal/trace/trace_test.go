@@ -356,9 +356,9 @@ func TestConfigValidation(t *testing.T) {
 	e := sim.NewEngine()
 	n := machine.NewNode(e, 0, machine.DefaultParams())
 	cases := []Config{
-		{Interval: sim.Second},                                            // no nodes
-		{Nodes: []*machine.Node{n}},                                       // no interval
-		{Interval: -1, Nodes: []*machine.Node{n}},                         // negative interval
+		{Interval: sim.Second},                                                // no nodes
+		{Nodes: []*machine.Node{n}},                                           // no interval
+		{Interval: -1, Nodes: []*machine.Node{n}},                             // negative interval
 		{Interval: sim.Second, Nodes: []*machine.Node{n}, Sinks: []Sink{nil}}, // nil sink
 	}
 	for i, cfg := range cases {
