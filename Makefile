@@ -17,7 +17,7 @@ GATED_BENCHTIME := 500ms
 GATED_COUNT     := 3
 BENCHDIFF_BAND  ?= 40
 
-.PHONY: all build test race lint vet vuln bench bench-baseline benchdiff bench-profile profgate ci clean
+.PHONY: all build test race lint vet vuln fuzz bench bench-baseline benchdiff bench-profile profgate ci clean
 
 all: build
 
@@ -60,7 +60,7 @@ bench:
 	$(GO) test -json -run '^$$' -bench 'Fig3FTClassB' -benchmem . >> $(BENCHOUT)
 	@mkdir -p $(PROFILES)
 	$(GO) test -json -run '^$$' -bench 'ShardedFT' -benchtime 1x -benchmem -memprofile $(CURDIR)/$(PROFILES)/shardedft_heap.mprof >> $(BENCHOUT)
-	$(GO) test -json -run '^$$' -bench 'RepolintModule|DetflowModule' -benchtime 1x -benchmem ./internal/lint >> $(BENCHOUT)
+	$(GO) test -json -run '^$$' -bench 'RepolintModule|DetflowModule|NumericModule' -benchtime 1x -benchmem ./internal/lint >> $(BENCHOUT)
 	@grep 'ns/op' $(BENCHOUT) | sed 's/.*"Output":"//;s/\\n.*//;s/\\t/  /g' || true
 
 # Refresh the committed benchmark baseline from a fresh run of the
@@ -103,13 +103,26 @@ $(REPOLINT): $(shell find internal/lint cmd/repolint -name '*.go' -not -path '*/
 	$(GO) build -o $(REPOLINT) ./cmd/repolint
 
 # Run the repolint analyzers over the whole module via go vet's vettool
-# protocol (type-checks against export data, caches per package).
+# protocol (type-checks against export data, caches per package), then
+# one standalone pass against the per-analyzer wall-time ceilings in
+# LINT_BUDGET.json: an analyzer whose cost regresses past its ceiling
+# (say, going quadratic on the module) fails lint even when its
+# diagnostics stay clean.
 lint: $(REPOLINT)
 	$(GO) vet -vettool=$(CURDIR)/$(REPOLINT) ./...
+	$(REPOLINT) -budget LINT_BUDGET.json ./...
 
 # Standard go vet, without the custom analyzers.
 vet:
 	$(GO) vet ./...
+
+# Ten-second native-fuzzing smoke over the PWTR binary trace decoder:
+# arbitrary bytes must never panic the reader, and any stream it
+# accepts must survive a bit-exact re-encode/re-decode round trip.
+# Interesting inputs accumulate in the local build cache; CI buys a
+# fixed budget of fresh execs on top of the committed seeds.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzTraceReader' -fuzztime 10s ./internal/trace
 
 # Best-effort locally: govulncheck is not vendored; skip quietly when
 # absent. The CI workflow installs it, so the hosted `make ci` always
@@ -121,7 +134,7 @@ vuln:
 		echo "govulncheck not installed; skipping"; \
 	fi
 
-ci: build test lint race profgate benchdiff vuln
+ci: build test lint race profgate benchdiff fuzz vuln
 
 clean:
 	rm -rf $(BIN)

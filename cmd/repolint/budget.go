@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/lint/analysis"
+)
+
+// lintBudget is the LINT_BUDGET.json schema: one wall-time ceiling per
+// analyzer, in milliseconds, for a full standalone pass over the whole
+// module. The ceilings are deliberately generous — an order of
+// magnitude over the measured cost on a warm developer machine — so
+// the gate only trips on real complexity regressions (an analyzer
+// going quadratic on the module), not on runner noise.
+type lintBudget struct {
+	CeilingMs map[string]float64 `json:"ceiling_ms"`
+}
+
+// checkBudget compares per-analyzer elapsed wall time against the
+// ceilings in budgetFile. Every analyzer that ran must have a ceiling
+// and every ceiling must name an analyzer that ran, so the budget file
+// cannot drift from the registry. Returns exit status 2 on any
+// exceeded ceiling or inventory mismatch, 1 on operational errors.
+func checkBudget(budgetFile string, analyzers []*analysis.Analyzer, elapsed map[string]time.Duration, stderr io.Writer) int {
+	raw, err := os.ReadFile(budgetFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 1
+	}
+	var budget lintBudget
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		fmt.Fprintf(stderr, "repolint: parsing %s: %v\n", budgetFile, err)
+		return 1
+	}
+
+	ran := make(map[string]bool, len(analyzers))
+	bad := 0
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		ceiling, ok := budget.CeilingMs[a.Name]
+		if !ok {
+			fmt.Fprintf(stderr, "repolint: budget: analyzer %s has no ceiling in %s\n", a.Name, budgetFile)
+			bad++
+			continue
+		}
+		if ms := float64(elapsed[a.Name].Microseconds()) / 1e3; ms > ceiling {
+			fmt.Fprintf(stderr, "repolint: budget: analyzer %s took %.1fms, over its %.0fms ceiling in %s\n",
+				a.Name, ms, ceiling, budgetFile)
+			bad++
+		}
+	}
+	stale := make([]string, 0, len(budget.CeilingMs))
+	for name := range budget.CeilingMs {
+		if !ran[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		fmt.Fprintf(stderr, "repolint: budget: %s gives a ceiling for %s, which is not a registered analyzer in this run\n", budgetFile, name)
+		bad++
+	}
+	if bad > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/repolint"
+)
+
+// writeBudget lays down a LINT_BUDGET.json-shaped file.
+func writeBudget(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "budget.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckBudget(t *testing.T) {
+	analyzers := []*analysis.Analyzer{
+		{Name: "fast"},
+		{Name: "slow"},
+	}
+	elapsed := map[string]time.Duration{
+		"fast": 5 * time.Millisecond,
+		"slow": 300 * time.Millisecond,
+	}
+	dir := t.TempDir()
+
+	t.Run("clean", func(t *testing.T) {
+		path := writeBudget(t, dir, `{"ceiling_ms": {"fast": 100, "slow": 1000}}`)
+		var stderr bytes.Buffer
+		if code := checkBudget(path, analyzers, elapsed, &stderr); code != 0 {
+			t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr.String())
+		}
+	})
+
+	t.Run("exceeded ceiling", func(t *testing.T) {
+		path := writeBudget(t, dir, `{"ceiling_ms": {"fast": 100, "slow": 100}}`)
+		var stderr bytes.Buffer
+		if code := checkBudget(path, analyzers, elapsed, &stderr); code != 2 {
+			t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "slow took") {
+			t.Errorf("no over-ceiling report for slow:\n%s", stderr.String())
+		}
+	})
+
+	t.Run("missing ceiling", func(t *testing.T) {
+		path := writeBudget(t, dir, `{"ceiling_ms": {"fast": 100}}`)
+		var stderr bytes.Buffer
+		if code := checkBudget(path, analyzers, elapsed, &stderr); code != 2 {
+			t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "slow has no ceiling") {
+			t.Errorf("no missing-ceiling report:\n%s", stderr.String())
+		}
+	})
+
+	t.Run("stale ceiling", func(t *testing.T) {
+		path := writeBudget(t, dir, `{"ceiling_ms": {"fast": 100, "slow": 1000, "retired": 50}}`)
+		var stderr bytes.Buffer
+		if code := checkBudget(path, analyzers, elapsed, &stderr); code != 2 {
+			t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "retired") {
+			t.Errorf("no stale-ceiling report:\n%s", stderr.String())
+		}
+	})
+
+	t.Run("missing file", func(t *testing.T) {
+		var stderr bytes.Buffer
+		if code := checkBudget(filepath.Join(dir, "nope.json"), analyzers, elapsed, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+
+	t.Run("malformed file", func(t *testing.T) {
+		path := writeBudget(t, dir, "not json")
+		var stderr bytes.Buffer
+		if code := checkBudget(path, analyzers, elapsed, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+}
+
+// TestCommittedBudgetCoversRegistry holds the committed
+// LINT_BUDGET.json to the registry the same way the README inventory
+// test does: a ceiling per registered analyzer, no stale entries —
+// without timing anything (elapsed zero is always under a positive
+// ceiling).
+func TestCommittedBudgetCoversRegistry(t *testing.T) {
+	path := filepath.Join("..", "..", "LINT_BUDGET.json")
+	var stderr bytes.Buffer
+	if code := checkBudget(path, repolint.All(), map[string]time.Duration{}, &stderr); code != 0 {
+		t.Fatalf("committed LINT_BUDGET.json out of sync with repolint.All(): exit %d\n%s", code, stderr.String())
+	}
+}
+
+// TestListAnalyzers checks -list prints one line per registered
+// analyzer, name first.
+func TestListAnalyzers(t *testing.T) {
+	var buf bytes.Buffer
+	listAnalyzers(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	all := repolint.All()
+	if len(lines) != len(all) {
+		t.Fatalf("-list printed %d lines for %d analyzers:\n%s", len(lines), len(all), buf.String())
+	}
+	for i, a := range all {
+		if !strings.HasPrefix(lines[i], a.Name) {
+			t.Errorf("-list line %d = %q, want it to lead with %q", i, lines[i], a.Name)
+		}
+		if !strings.Contains(lines[i], a.Doc) {
+			t.Errorf("-list line %d missing the doc for %s", i, a.Name)
+		}
+	}
+}

@@ -1,12 +1,13 @@
 // Command repolint runs the repository's analyzer suite (determinism,
 // floateq, unitsafety, panicfree, sharedstate, concsafety, erraudit,
-// detflow, hotalloc, profgate, shardown, typestate — see
-// internal/lint) in two modes:
+// detflow, hotalloc, profgate, shardown, typestate, rangecheck,
+// lookahead — see internal/lint) in two modes:
 //
 // Standalone, against package patterns, loading and type-checking the
 // module itself:
 //
 //	go run ./cmd/repolint ./...
+//	repolint -list         # print every registered analyzer with its one-line doc
 //	repolint -only determinism,panicfree ./internal/...
 //	repolint -json ./...   # one JSON object per line, suppressions and timing included
 //	repolint -timing ./... # per-analyzer wall-time table on stderr
@@ -61,11 +62,14 @@ func main() {
 
 	versionFlag := flag.String("V", "", "print version and exit (go vet handshake)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
+	list := flag.Bool("list", false, "print every registered analyzer with its one-line doc and exit")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	jsonOut := flag.Bool("json", false,
 		"standalone mode: print one JSON object per diagnostic (including suppressed ones) to stdout")
 	timing := flag.Bool("timing", false,
 		"standalone mode: print a per-analyzer wall-time table to stderr (-json always carries timing records)")
+	budget := flag.String("budget", "",
+		"standalone mode: JSON file of per-analyzer wall-time ceilings in ms (see LINT_BUDGET.json); any exceeded ceiling fails the run")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -75,6 +79,9 @@ func main() {
 		return
 	case *flagsFlag:
 		fmt.Println("[]") // no pass-through flags beyond the handshake
+		return
+	case *list:
+		listAnalyzers(os.Stdout)
 		return
 	}
 
@@ -88,7 +95,16 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetUnit(args[0], analyzers))
 	}
-	os.Exit(runStandalone(args, analyzers, *jsonOut, *timing, ".", os.Stdout, os.Stderr))
+	os.Exit(runStandalone(args, analyzers, *jsonOut, *timing, *budget, ".", os.Stdout, os.Stderr))
+}
+
+// listAnalyzers prints the registered suite, one analyzer per line
+// with its one-line doc, in reporting order — the -list inventory that
+// the README sync test and operators both read.
+func listAnalyzers(w io.Writer) {
+	for _, a := range repolint.All() {
+		fmt.Fprintf(w, "%-12s %s\n", a.Name, a.Doc)
+	}
 }
 
 func usage() {
@@ -160,8 +176,10 @@ type jsonTiming struct {
 }
 
 // runStandalone loads packages with the module-aware loader (rooted at
-// dir) and runs every analyzer over every package.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, timing bool, dir string, stdout, stderr io.Writer) int {
+// dir) and runs every analyzer over every package. budgetFile, if
+// non-empty, names the per-analyzer wall-time ceiling table checked
+// after the run (the `make lint` budget gate).
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, timing bool, budgetFile, dir string, stdout, stderr io.Writer) int {
 	fset := token.NewFileSet()
 	pkgs, err := loader.Load(fset, dir, patterns...)
 	if err != nil {
@@ -243,6 +261,9 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, t
 			fmt.Fprintf(stderr, "repolint: %d diagnostic(s)\n", found)
 		}
 		return 2
+	}
+	if budgetFile != "" {
+		return checkBudget(budgetFile, analyzers, elapsed, stderr)
 	}
 	return 0
 }

@@ -48,7 +48,7 @@ func TestRunStandaloneCleanPackage(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if code := runStandalone([]string{"./..."}, analyzers, false, true, root, &stdout, &stderr); code != 0 {
+	if code := runStandalone([]string{"./..."}, analyzers, false, true, "", root, &stdout, &stderr); code != 0 {
 		t.Fatalf("plain mode exit %d, stderr:\n%s", code, stderr.String())
 	}
 	if stdout.Len() != 0 {
@@ -64,7 +64,7 @@ func TestRunStandaloneCleanPackage(t *testing.T) {
 
 	stdout.Reset()
 	stderr.Reset()
-	if code := runStandalone([]string{"./..."}, analyzers, true, false, root, &stdout, &stderr); code != 0 {
+	if code := runStandalone([]string{"./..."}, analyzers, true, false, "", root, &stdout, &stderr); code != 0 {
 		t.Fatalf("-json mode exit %d, stderr:\n%s", code, stderr.String())
 	}
 	// Whatever -json emits (suppressed findings included) must be one
@@ -118,7 +118,7 @@ func TestRunStandaloneDiagnostics(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	code := runStandalone([]string{"./..."}, analyzers, true, false, dir, &stdout, &stderr)
+	code := runStandalone([]string{"./..."}, analyzers, true, false, "", dir, &stdout, &stderr)
 	if code != 2 {
 		t.Fatalf("exit %d, want 2 (diagnostics); stderr:\n%s", code, stderr.String())
 	}

@@ -133,6 +133,8 @@ func PentiumM14() Table {
 func (t Table) Len() int { return len(t.points) }
 
 // At returns the i-th point, 0 being the highest frequency.
+//
+//lint:range i [0,inf]
 func (t Table) At(i int) OperatingPoint { return t.points[i] }
 
 // Points returns a copy of all points, highest frequency first.
@@ -150,6 +152,8 @@ func (t Table) Lowest() OperatingPoint { return t.points[len(t.points)-1] }
 
 // IndexOf returns the index of the point whose frequency matches freq
 // within FreqTolerance, or -1.
+//
+//lint:range result [-1,inf]
 func (t Table) IndexOf(freq Hz) int {
 	for i, op := range t.points {
 		if SameFreq(op.Freq, freq) {
@@ -185,6 +189,8 @@ func (t Table) ClosestTo(freq Hz) OperatingPoint {
 
 // StepDown returns the next slower point than the one at index i, or the
 // same point if i is already the slowest.
+//
+//lint:range i [0,inf]
 func (t Table) StepDown(i int) int {
 	if i < len(t.points)-1 {
 		return i + 1
@@ -194,6 +200,8 @@ func (t Table) StepDown(i int) int {
 
 // StepUp returns the next faster point than the one at index i, or the
 // same point if i is already the fastest.
+//
+//lint:range i [0,inf]
 func (t Table) StepUp(i int) int {
 	if i > 0 {
 		return i - 1
@@ -255,6 +263,8 @@ func (t Table) VoltageAt(freq Hz) float64 {
 // the original curve. It models a processor exposing more P-states
 // than the Pentium M's five. It fails if steps < 2 or the derived
 // points collapse onto each other (extremes closer than FreqTolerance).
+//
+//lint:range steps [2,inf]
 func (t Table) Subdivide(steps int) (Table, error) {
 	if steps < 2 {
 		return Table{}, fmt.Errorf("dvfs: Subdivide needs at least 2 steps, got %d", steps)
@@ -271,6 +281,8 @@ func (t Table) Subdivide(steps int) (Table, error) {
 
 // MustSubdivide is Subdivide for known-good step counts; it panics on
 // error.
+//
+//lint:range steps [2,inf]
 func (t Table) MustSubdivide(steps int) Table {
 	sub, err := t.Subdivide(steps)
 	if err != nil {

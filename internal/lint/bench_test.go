@@ -82,3 +82,45 @@ func BenchmarkDetflowModule(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNumericModule isolates the v6 numeric layer: module load
+// plus only the rangecheck and lookahead analyzers — the two passes
+// built on the internal/lint/dataflow interval abstract domain
+// (RunIntervals) — over every package. Tracked in BENCH_sim.json next
+// to the whole-suite and detflow figures, it shows what the interval
+// engine costs as its contract inventory grows.
+func BenchmarkNumericModule(b *testing.B) {
+	root := moduleRoot(b)
+	var numeric []*analysis.Analyzer
+	for _, a := range repolint.All() {
+		if a.Name == "rangecheck" || a.Name == "lookahead" {
+			numeric = append(numeric, a)
+		}
+	}
+	if len(numeric) != 2 {
+		b.Fatalf("expected rangecheck and lookahead in the registry, found %d", len(numeric))
+	}
+	for i := 0; i < b.N; i++ {
+		fset := token.NewFileSet()
+		pkgs, err := loader.Load(fset, root, "./...")
+		if err != nil {
+			b.Fatalf("loading module packages: %v", err)
+		}
+		if len(pkgs) == 0 {
+			b.Fatal("loader returned no packages")
+		}
+		diags := 0
+		for _, pkg := range pkgs {
+			for _, a := range numeric {
+				pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+				if err := a.Run(pass); err != nil {
+					b.Fatalf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+				}
+				diags += len(pass.Diagnostics())
+			}
+		}
+		if diags != 0 {
+			b.Fatalf("module not range-clean during benchmark: %d diagnostics", diags)
+		}
+	}
+}

@@ -928,3 +928,21 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 	}
 	return nil
 }
+
+// FuncKey renders a stable cross-package key for fn:
+// "pkgpath.Name" for functions and "pkgpath.Recv.Name" for methods
+// (pointer receivers dereferenced), the form the value analyzers use
+// to index their built-in contract tables.
+func FuncKey(fn *types.Func) string {
+	path := fn.Pkg().Path()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return path + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return path + "." + fn.Name()
+}

@@ -1,0 +1,23 @@
+package lookahead_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lookahead"
+)
+
+// TestLookahead runs the fixture package: seeded variants of the
+// engine past-event panic (PostArrival/Schedule before Now()), window
+// bookings at or before Now(), a booking provably below a known group
+// lookahead, past fabric bookings, a helper-composed offset, and one
+// //lint:allow suppression — beside the clean forward-looking shapes
+// that must stay quiet.
+func TestLookahead(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, dir, lookahead.Analyzer, "fixtures/lookahead")
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/repolint"
+)
+
+// boldName matches the bold analyzer mentions the README's static
+// analysis sections use (for example "**rangecheck**"). The lowercase
+// anchor keeps ordinary bold prose (capitalized or multi-word) out of
+// the inventory.
+var boldName = regexp.MustCompile(`\*\*([a-z][a-z0-9]*)\*\*`)
+
+// TestReadmeAnalyzerInventory holds README.md's "Static analysis
+// gates" chapter to the registry: every analyzer repolint.All()
+// registers must be documented there as a bold **name**, and every
+// bold lowercase name in the chapter must be a registered analyzer.
+// Registering a v7 analyzer without documenting it — or documenting
+// one that was never wired into the suite — fails here, the same way
+// the suppression inventory catches allows naming unloaded analyzers.
+func TestReadmeAnalyzerInventory(t *testing.T) {
+	root := moduleRoot(t)
+	raw, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+
+	// The chapter spans from the "## Static analysis gates" heading to
+	// the next top-level "## " heading; "### " subsections stay inside.
+	text := string(raw)
+	const heading = "## Static analysis gates"
+	start := strings.Index(text, heading)
+	if start < 0 {
+		t.Fatalf("README.md has no %q heading", heading)
+	}
+	body := text[start+len(heading):]
+	if end := strings.Index(body, "\n## "); end >= 0 {
+		body = body[:end]
+	}
+
+	documented := make(map[string]bool)
+	for _, m := range boldName.FindAllStringSubmatch(body, -1) {
+		documented[m[1]] = true
+	}
+
+	registered := make(map[string]bool)
+	for _, a := range repolint.All() {
+		registered[a.Name] = true
+		if !documented[a.Name] {
+			t.Errorf("analyzer %q is registered in repolint.All() but not documented under %q in README.md", a.Name, heading)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("README.md documents **%s** under %q, but repolint.All() registers no such analyzer", name, heading)
+		}
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"repro/internal/lint/erraudit"
 	"repro/internal/lint/floateq"
 	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/lookahead"
 	"repro/internal/lint/panicfree"
 	"repro/internal/lint/profgate"
+	"repro/internal/lint/rangecheck"
 	"repro/internal/lint/shardown"
 	"repro/internal/lint/sharedstate"
 	"repro/internal/lint/typestate"
@@ -28,8 +30,9 @@ import (
 // internal/lint/callgraph, the v3 flow-sensitive gates built on
 // internal/lint/dataflow, the v4 profile-guided gate (a no-op unless
 // REPOLINT_PROFILES points at benchmark CPU profiles; see `make
-// profgate`), and the v5 shard-ownership and API-protocol gates for
-// the parallel core.
+// profgate`), the v5 shard-ownership and API-protocol gates for the
+// parallel core, and the v6 numeric range gates built on the interval
+// abstract domain (dataflow.RunIntervals).
 var registry = []*analysis.Analyzer{
 	determinism.Analyzer,
 	floateq.Analyzer,
@@ -43,6 +46,8 @@ var registry = []*analysis.Analyzer{
 	profgate.Analyzer,
 	shardown.Analyzer,
 	typestate.Analyzer,
+	rangecheck.Analyzer,
+	lookahead.Analyzer,
 }
 
 // All returns the registered analyzers in reporting order. The slice

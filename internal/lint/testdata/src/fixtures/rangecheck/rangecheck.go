@@ -1,0 +1,134 @@
+// Package rangecheck exercises the numeric-contract analyzer: seeded
+// violations of the built-in physics contracts (negative watts into
+// the integrator, unguarded operating-point indices, degenerate
+// subdivision and shard counts), declared //lint:range bounds on
+// params and results, provably/possibly zero divisors, the
+// assume/guarantee use of declared bounds, and the //lint:allow
+// escape hatch — each beside the clean shape that must stay quiet.
+package rangecheck
+
+import (
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// ---- built-in physics contracts ----
+
+func negativePower(in *power.Integrator, t sim.Time) {
+	in.SetPower(t, -8) // want `power draw \(watts\) passed to \(power\.Integrator\)\.SetPower is provably outside its required range \[0, \+inf\): interval \[-8, -8\]`
+	in.SetPower(t, 8)  // clean: nonnegative constant
+	delta := 2.5 - 5.0
+	in.AddEnergy(power.Joules(delta)) // want `energy quantum \(joules\) passed to \(power\.Integrator\)\.AddEnergy is provably outside its required range \[0, \+inf\): interval \[-2\.5, -2\.5\]`
+}
+
+func unguardedIndex(tab dvfs.Table) dvfs.OperatingPoint {
+	i := tab.IndexOf(2e9)
+	return tab.At(i) // want `operating-point index passed to \(dvfs\.Table\)\.At may fall below its required range \[0, \+inf\): interval \[-1, \+inf\); clamp or guard first`
+}
+
+func guardedIndex(tab dvfs.Table) dvfs.OperatingPoint {
+	i := tab.IndexOf(2e9)
+	if i < 0 {
+		i = 0
+	}
+	return tab.At(i) // clean: the guard clamps the miss sentinel
+}
+
+func degenerateSubdivide(tab dvfs.Table) {
+	tab.MustSubdivide(1) // want `subdivision steps passed to \(dvfs\.Table\)\.MustSubdivide is provably outside its required range \[2, \+inf\): interval \[1, 1\]`
+	tab.MustSubdivide(4) // clean
+}
+
+func emptyGroup() *sim.Group {
+	return sim.NewGroup(0, 10) // want `shard count passed to sim\.NewGroup is provably outside its required range \[1, \+inf\): interval \[0, 0\]`
+}
+
+// ---- declared //lint:range contracts ----
+
+// scale applies an activity factor to a power draw.
+//
+//lint:range f [0,1]
+//lint:range w [0,inf]
+func scale(w float64, f float64) float64 {
+	return w * f
+}
+
+func callsScale() float64 {
+	return scale(5, 2) // want `parameter "f" passed to rangecheck\.scale is provably outside its declared //lint:range \[0, 1\]: interval \[2, 2\]`
+}
+
+// brokenResult promises a nonnegative result and breaks the promise.
+//
+//lint:range result [0,inf]
+func brokenResult() float64 {
+	return -1 // want `result of brokenResult is provably outside its declared //lint:range \[0, \+inf\): interval \[-1, -1\]`
+}
+
+// width assumes its declared floor: steps-1 is provably nonzero, so
+// the division below stays quiet (assume/guarantee in the small).
+//
+//lint:range steps [2,inf]
+func width(span float64, steps int) float64 {
+	return span / float64(steps-1)
+}
+
+// find narrows IndexOf's miss sentinel through a declared result
+// contract, which call sites below consume as a summary.
+//
+//lint:range result [-1,inf]
+func find(tab dvfs.Table) int {
+	return tab.IndexOf(1e9)
+}
+
+func usesFindGuarded(tab dvfs.Table) dvfs.OperatingPoint {
+	i := find(tab)
+	if i < 0 {
+		return dvfs.OperatingPoint{}
+	}
+	return tab.At(i) // clean: the guard refined [-1,+inf) to [0,+inf)
+}
+
+func usesFindUnguarded(tab dvfs.Table) dvfs.OperatingPoint {
+	return tab.At(find(tab)) // want `operating-point index passed to \(dvfs\.Table\)\.At may fall below its required range \[0, \+inf\): interval \[-1, \+inf\); clamp or guard first`
+}
+
+// ---- divisors ----
+
+func provablyZeroDivisor(n int) int {
+	d := 0
+	return n / d // want `divisor is provably zero \(interval \[0, 0\]\)`
+}
+
+func maybeZeroDivisor(n int) int {
+	if n >= -3 && n <= 3 {
+		return 100 / n // want `divisor may be zero \(interval \[-3, 3\]\); guard the denominator`
+	}
+	return 100 / n // clean: half-open evidence says nothing
+}
+
+func guardedDivisor(total float64, count int) float64 {
+	if count <= 0 {
+		return 0
+	}
+	return total / float64(count) // clean: count is provably >= 1
+}
+
+// ---- suppression and directive hygiene ----
+
+func calibrationOffset(in *power.Integrator, t sim.Time) {
+	in.SetPower(t, -1) //lint:allow rangecheck (calibration fixture: the negative delta is injected deliberately)
+}
+
+//lint:range ghost [0,1] // want `//lint:range names "ghost", which is not a parameter of noSuchParam`
+func noSuchParam(w float64) float64 { return w }
+
+//lint:range w (0;1) // want `malformed //lint:range directive: bounds must look like \[lo,hi\]`
+func badBounds(w float64) float64 { return w }
+
+//lint:range name [0,1] // want `//lint:range on non-numeric parameter "name" of notNumeric`
+func notNumeric(name string) string { return name }
+
+//lint:range w [0,1] // want `dangling //lint:range directive: not in a function doc comment`
+
+var unrelated = 0

@@ -1,0 +1,31 @@
+// Package dvfs is a fixture stub of the real operating-point table:
+// the rangecheck analyzer keys its built-in index/frequency/step
+// contracts on this import path, so fixtures exercise them exactly as
+// production code does. Bodies are inert — only the signatures matter
+// to the analyses.
+package dvfs
+
+// Hz mirrors the frequency unit.
+type Hz float64
+
+// OperatingPoint mirrors one (frequency, voltage) table row.
+type OperatingPoint struct {
+	Freq    Hz
+	Voltage float64
+}
+
+// Table mirrors the ordered operating-point table.
+type Table []OperatingPoint
+
+func (t Table) Len() int                { return len(t) }
+func (t Table) At(i int) OperatingPoint { return t[i] }
+func (t Table) IndexOf(freq Hz) int     { return -1 }
+func (t Table) ByFreq(freq Hz) (OperatingPoint, bool) {
+	return OperatingPoint{}, false
+}
+func (t Table) ClosestTo(freq Hz) int              { return 0 }
+func (t Table) StepDown(i int) int                 { return i }
+func (t Table) StepUp(i int) int                   { return i }
+func (t Table) VoltageAt(freq Hz) float64          { return 0 }
+func (t Table) Subdivide(steps int) (Table, error) { return t, nil }
+func (t Table) MustSubdivide(steps int) Table      { return t }

@@ -1,0 +1,47 @@
+// Package netsim is a fixture stub of the real switched-fabric model:
+// the rangecheck and lookahead analyzers key their built-in port/size
+// contracts and forward-only booking summaries on this import path,
+// so fixtures exercise them exactly as production code does. Bodies
+// are inert — only the signatures matter to the analyses.
+package netsim
+
+import "repro/internal/sim"
+
+// Config mirrors the fabric latency/bandwidth configuration.
+type Config struct {
+	MinLatency sim.Duration
+}
+
+// Switch mirrors the output-queued switch.
+type Switch struct{ ports int }
+
+func New(eng *sim.Engine, ports int, cfg Config) *Switch { return &Switch{ports: ports} }
+
+func (s *Switch) Ports() int               { return s.ports }
+func (s *Switch) MinLatency() sim.Duration { return 0 }
+func (s *Switch) SerializationTime(size int64) sim.Duration {
+	return 0
+}
+
+func (s *Switch) Send(src, dst int, size int64, now sim.Time) (start, arrive sim.Time) {
+	return now, now
+}
+
+func (s *Switch) Accept(src, dst int, size int64, arrive sim.Time) sim.Time {
+	return arrive
+}
+
+func (s *Switch) Transfer(src, dst int, size int64) {}
+
+func (s *Switch) Control(src, dst int, size int64, now sim.Time) sim.Time {
+	return now
+}
+
+// Fabric mirrors the interface the mpi layer books traffic through.
+type Fabric interface {
+	Ports() int
+	MinLatency() sim.Duration
+	Send(src, dst int, size int64, now sim.Time) (start, arrive sim.Time)
+	Accept(src, dst int, size int64, arrive sim.Time) sim.Time
+	Control(src, dst int, size int64, now sim.Time) sim.Time
+}

@@ -1,0 +1,36 @@
+// Package power is a fixture stub of the real power model: the
+// rangecheck analyzer keys its built-in watts/joules/time contracts on
+// this import path, so fixtures exercise them exactly as production
+// code does. Bodies are inert — only the signatures matter to the
+// analyses.
+package power
+
+import (
+	"repro/internal/dvfs"
+	"repro/internal/sim"
+)
+
+// Watts and Joules mirror the physical units.
+type Watts float64
+
+type Joules float64
+
+// Integrator mirrors the energy integrator.
+type Integrator struct{ total Joules }
+
+func (in *Integrator) SetPower(t sim.Time, w Watts) {}
+func (in *Integrator) AddEnergy(j Joules)           { in.total += j }
+func (in *Integrator) Total() Joules                { return in.total }
+
+// CPUModel mirrors the frequency/voltage-scaled CPU power model.
+type CPUModel struct{ table dvfs.Table }
+
+func NewCPUModel(table dvfs.Table, dynAtTop Watts, leakPerV2, idleActivity float64) CPUModel {
+	return CPUModel{table: table}
+}
+
+func (m CPUModel) Dynamic(op dvfs.OperatingPoint, activity float64) Watts { return 0 }
+func (m CPUModel) Power(op dvfs.OperatingPoint, activity float64) Watts   { return 0 }
+
+// JoulesFromMilliwattHours mirrors the unit conversion helper.
+func JoulesFromMilliwattHours(mwh float64) Joules { return Joules(mwh * 3.6) }

@@ -251,12 +251,15 @@ func (n *Node) coreDuration(cycles float64) sim.Duration {
 // duration-conversion + inState subtree must stay allocation-free.
 //
 //lint:hotpath
+//lint:range cycles [0,inf]
 func (n *Node) Compute(p *sim.Proc, cycles float64) {
 	n.inState(p, Compute, n.coreDuration(cycles))
 }
 
 // ComputeFlops is Compute with work expressed in floating-point
 // operations, converted via the sustained FlopsPerCycle rate.
+//
+//lint:range flops [0,inf]
 func (n *Node) ComputeFlops(p *sim.Proc, flops float64) {
 	n.Compute(p, flops/n.par.FlopsPerCycle)
 }
@@ -310,6 +313,8 @@ func (n *Node) CopyCycles(p *sim.Proc, cycles float64) {
 }
 
 // IdleFor parks the node idle for d.
+//
+//lint:range d [0,inf]
 func (n *Node) IdleFor(p *sim.Proc, d sim.Duration) {
 	n.inState(p, Idle, d)
 }
@@ -395,7 +400,7 @@ func (n *Node) commitOP(idx int) {
 
 // SetFrequency moves to the table point closest to freq (blocking form).
 func (n *Node) SetFrequency(p *sim.Proc, freq dvfs.Hz) error {
-	return n.SetOperatingPointIndex(p, n.par.Table.IndexOf(n.par.Table.ClosestTo(freq).Freq))
+	return n.SetOperatingPointIndex(p, n.par.Table.IndexOf(n.par.Table.ClosestTo(freq).Freq)) //lint:allow rangecheck (the frequency is a row of the same table, so IndexOf cannot return its -1 miss sentinel)
 }
 
 // Transitions reports how many DVS switches the node has performed.

@@ -384,6 +384,8 @@ func (r *Rank) Barrier(p *sim.Proc) { barrierV(r.worldView(p)) }
 
 // Bcast distributes size bytes from root to every rank (binomial tree).
 // It returns the payload as seen at this rank.
+//
+//lint:range size [0,inf]
 func (r *Rank) Bcast(p *sim.Proc, root int, size int64, payload any) any {
 	return bcastV(r.worldView(p), root, size, payload)
 }
@@ -391,6 +393,8 @@ func (r *Rank) Bcast(p *sim.Proc, root int, size int64, payload any) any {
 // Reduce combines size bytes from every rank at root (binomial tree).
 // combine, if non-nil, folds payloads pairwise; the CPU cost of each
 // combine step is charged from the configured flops-per-byte rate.
+//
+//lint:range size [0,inf]
 func (r *Rank) Reduce(p *sim.Proc, root int, size int64, payload any, combine func(a, b any) any) any {
 	return reduceV(r.worldView(p), root, size, payload, combine)
 }
@@ -400,6 +404,8 @@ func (r *Rank) Reduce(p *sim.Proc, root int, size int64, payload any, combine fu
 // Reduce to rank 0 followed by Bcast, MPICH-1 style; at or above it,
 // recursive doubling spreads the bandwidth over every link instead of
 // concentrating it at rank 0.
+//
+//lint:range size [0,inf]
 func (r *Rank) Allreduce(p *sim.Proc, size int64, payload any, combine func(a, b any) any) any {
 	if thr := r.w.cfg.AllreduceLargeThreshold; thr > 0 && size >= thr {
 		return allreduceRD(r.worldView(p), size, payload, combine)
@@ -411,6 +417,8 @@ func (r *Rank) Allreduce(p *sim.Proc, size int64, payload any, combine func(a, b
 // Alltoall exchanges bytesPerPeer with every other rank (pairwise
 // exchange: P-1 rounds of simultaneous send/receive). This is the
 // communication pattern of the NAS FT transpose.
+//
+//lint:range bytesPerPeer [0,inf]
 func (r *Rank) Alltoall(p *sim.Proc, bytesPerPeer int64) {
 	alltoallV(r.worldView(p), func(int) int64 { return bytesPerPeer })
 }
@@ -429,6 +437,8 @@ func (r *Rank) Alltoallv(p *sim.Proc, sizes []int64) {
 // leaf sends directly; arrivals serialize on root's receive link —
 // the bottleneck the parallel transpose exhibits in step 3). It
 // returns, at root, the payloads indexed by rank.
+//
+//lint:range size [0,inf]
 func (r *Rank) Gather(p *sim.Proc, root int, size int64, payload any) []any {
 	return gatherV(r.worldView(p), root, func(int) int64 { return size }, payload)
 }
@@ -436,6 +446,8 @@ func (r *Rank) Gather(p *sim.Proc, root int, size int64, payload any) []any {
 // Scatter distributes size bytes from root to each rank (linear) and
 // returns the payload for this rank. payloads is only read at root and
 // must have one entry per rank.
+//
+//lint:range size [0,inf]
 func (r *Rank) Scatter(p *sim.Proc, root int, size int64, payloads []any) any {
 	if r.id == root && payloads == nil {
 		panic("mpi: Scatter needs payloads at root") //lint:allow panicfree (models MPI_Abort; rank/tag/count errors abort the MPI job)

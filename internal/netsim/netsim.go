@@ -68,6 +68,8 @@ type Switch struct {
 }
 
 // New builds a switch with ports full-duplex ports.
+//
+//lint:range ports [1,inf]
 func New(eng *sim.Engine, ports int, cfg Config) *Switch {
 	if ports <= 0 {
 		panic(fmt.Sprintf("netsim: %d ports", ports)) //lint:allow panicfree (constructor misuse; topology config is fixed at build time)

@@ -28,6 +28,8 @@ type Joules float64
 func (j Joules) MilliwattHours() float64 { return float64(j) / 3.6 }
 
 // JoulesFromMilliwattHours converts an ACPI capacity reading to joules.
+//
+//lint:range mwh [0,inf]
 func JoulesFromMilliwattHours(mwh float64) Joules { return Joules(mwh * 3.6) }
 
 // Component identifies a power-consuming subsystem of a node, matching
@@ -87,6 +89,9 @@ type CPUModel struct {
 
 // NewCPUModel calibrates a CPUModel so that dynamic power at the table's
 // highest operating point equals dynAtTop watts under full activity.
+//
+//lint:range dynAtTop [0,inf]
+//lint:range idleActivity [0,1]
 func NewCPUModel(table dvfs.Table, dynAtTop Watts, leakPerV2, idleActivity float64) CPUModel {
 	top := table.Highest()
 	ceff := float64(dynAtTop) / (float64(top.Freq) * top.Voltage * top.Voltage)
@@ -139,6 +144,8 @@ type Integrator struct {
 // SetPower records that from time t onward the signal draws w watts.
 // Calls must have nondecreasing t; regressions panic because they would
 // corrupt the integral silently.
+//
+//lint:range w [0,inf]
 func (in *Integrator) SetPower(t sim.Time, w Watts) {
 	in.advance(t)
 	in.power = w
@@ -146,6 +153,8 @@ func (in *Integrator) SetPower(t sim.Time, w Watts) {
 
 // AddEnergy deposits a discrete quantum of energy (e.g. a DVS
 // transition's switching cost) at the current point of the integral.
+//
+//lint:range j [0,inf]
 func (in *Integrator) AddEnergy(j Joules) { in.total += j }
 
 // EnergyAt returns the energy accumulated from the epoch through t.

@@ -24,6 +24,11 @@ type Engine struct {
 	closed  bool
 	failure error // first process panic, reported by Run
 
+	// shardTag is " (shard N)" when the engine is owned by a Group,
+	// empty for a standalone engine. Preformatted at construction so
+	// the panic helpers stay allocation-free on the hot path.
+	shardTag string
+
 	// park is signalled by a process goroutine whenever it hands control
 	// back to the engine (by blocking, terminating, or dying).
 	park chan struct{}
@@ -68,7 +73,16 @@ func (e *Engine) scheduleEvent(ev event) {
 }
 
 func (e *Engine) schedulePastPanic(t Time) {
-	panic(fmt.Sprintf("sim: Schedule at %v before now %v", t, e.now)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
+	panic(fmt.Sprintf("sim: Schedule at %v before now %v%s", t, e.now, e.shardTag)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
+}
+
+// arrivalPastPanic carries the full lookahead-contract context: which
+// shard received the arrival, where it came from, and the offending
+// timestamp. Kept out of PostArrival so the hot delivery path stays
+// inlinable.
+func (e *Engine) arrivalPastPanic(t Time, srcPort int, srcSeq uint64) {
+	panic(fmt.Sprintf("sim: cross-shard arrival at %v before now %v%s (src shard %d, seq %d): the lookahead contract was violated", //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
+		t, e.now, e.shardTag, srcPort, srcSeq))
 }
 
 // PostArrival enqueues a cross-shard arrival event: fn runs at absolute
@@ -83,7 +97,7 @@ func (e *Engine) schedulePastPanic(t Time) {
 //lint:hotpath runs once per cross-rank message on the delivery path
 func (e *Engine) PostArrival(t Time, srcPort int, srcSeq uint64, fn func()) {
 	if t < e.now {
-		e.schedulePastPanic(t)
+		e.arrivalPastPanic(t, srcPort, srcSeq)
 	}
 	e.queue.push(event{t: t, pri: arrivalClass | uint64(srcPort), seq: srcSeq, kind: evCall, fn: fn})
 }

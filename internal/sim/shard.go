@@ -73,6 +73,9 @@ type Group struct {
 // NewGroup builds a group of shards engines sharing lookahead window
 // size look. shards must be at least 1 and look strictly positive: a
 // zero lookahead admits no window at all.
+//
+//lint:range shards [1,inf]
+//lint:range look [1,inf]
 func NewGroup(shards int, look Duration) *Group {
 	if shards < 1 {
 		panic("sim: NewGroup needs at least one shard") //lint:allow panicfree (constructor misuse; shard count is fixed at build time)
@@ -87,6 +90,7 @@ func NewGroup(shards int, look Duration) *Group {
 	}
 	for i := range g.engines {
 		g.engines[i] = NewEngine()
+		g.engines[i].shardTag = fmt.Sprintf(" (shard %d)", i)
 	}
 	return g
 }
@@ -131,7 +135,7 @@ func (g *Group) ScheduleGlobal(t Time, pri uint64, fn func()) {
 	g.gmu.Lock()
 	if t < g.horizon {
 		g.gmu.Unlock()
-		panic(fmt.Sprintf("sim: ScheduleGlobal at %v before horizon %v", t, g.horizon)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
+		panic(fmt.Sprintf("sim: ScheduleGlobal at %v before horizon %v (lookahead %v)", t, g.horizon, g.look)) //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
 	}
 	g.gseq++
 	g.globals.push(event{t: t, pri: pri, seq: g.gseq, kind: evCall, fn: fn})
@@ -139,17 +143,32 @@ func (g *Group) ScheduleGlobal(t Time, pri uint64, fn func()) {
 }
 
 // drain moves every parked arrival into its shard's event heap. Called
-// only between windows, so the inbox mutexes are uncontended.
+// only between windows, so the inbox mutexes are uncontended. The
+// lookahead contract is re-checked here, where the full window context
+// is in hand: a violation names the shard, the offending event time,
+// the window horizon, and the group lookahead, instead of the bare
+// past-time panic the engine itself would raise.
 func (g *Group) drain() {
 	for i := range g.inboxes {
 		in := &g.inboxes[i]
 		in.mu.Lock()
 		for _, a := range in.evs {
+			if a.t < g.engines[i].Now() {
+				g.lookaheadPanic(i, a)
+			}
 			g.engines[i].PostArrival(a.t, a.src, a.seq, a.fn)
 		}
 		in.evs = in.evs[:0]
 		in.mu.Unlock()
 	}
+}
+
+// lookaheadPanic reports a drained arrival that lands before its
+// shard's clock, with the full window context. Kept as a panic-only
+// helper so drain stays allocation-free on the hot coordinator path.
+func (g *Group) lookaheadPanic(shard int, a arrival) {
+	panic(fmt.Sprintf("sim: lookahead contract violated: arrival for shard %d at %v is before shard now %v (window horizon %v, lookahead %v, src shard %d, seq %d)", //lint:allow panicfree (simulation-kernel invariant; a broken event loop cannot continue)
+		shard, a.t, g.engines[shard].Now(), g.horizon, g.look, a.src, a.seq))
 }
 
 // minNextEvent reports the earliest pending event time across shards.

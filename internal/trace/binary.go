@@ -269,6 +269,9 @@ func (r *Reader) Next() ([]Sample, error) {
 		return nil, fmt.Errorf("trace: corrupt record: time delta %d", dt)
 	}
 	at := r.prevT.Add(sim.Duration(dt))
+	if at < r.prevT {
+		return nil, fmt.Errorf("trace: corrupt record: time delta %d overflows the clock at %v", dt, r.prevT)
+	}
 	r.prevT = at
 	nStates := int64(len(machine.States()))
 	for i := range r.row {
